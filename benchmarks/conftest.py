@@ -1,0 +1,74 @@
+"""Shared configuration for the reproduction benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper, writes
+the rendered text to ``benchmarks/results/`` and asserts the qualitative
+*shape* claims of the paper (who wins, by roughly what factor).  Timings are
+reported through pytest-benchmark.
+
+Environment knobs:
+
+* ``REPRO_FULL_EVAL=1`` — run the Fig. 6 evaluation at full benchmark size
+  with paper-style sample counts (hours).  The default is a reduced but
+  complete configuration that preserves the paper's qualitative results and
+  finishes in minutes.
+* ``REPRO_BENCH_SCALE`` / ``REPRO_BENCH_SAMPLES`` / ``REPRO_BENCH_ROUNDS`` —
+  override individual knobs of the reduced configuration.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+#: Directory where every benchmark drops its regenerated table.
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def pytest_configure(config):
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory for regenerated tables (created on demand)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def full_evaluation() -> bool:
+    """True when the user requested the full-size (hours-long) evaluation."""
+    return os.environ.get("REPRO_FULL_EVAL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def eval_scale(full_evaluation) -> float:
+    """Benchmark scale factor for the Fig. 6 evaluation."""
+    if full_evaluation:
+        return 1.0
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
+
+
+@pytest.fixture(scope="session")
+def eval_samples(full_evaluation) -> int:
+    """Locked test samples per benchmark/algorithm."""
+    if full_evaluation:
+        return 10
+    return int(os.environ.get("REPRO_BENCH_SAMPLES", "3"))
+
+
+@pytest.fixture(scope="session")
+def eval_rounds(full_evaluation) -> int:
+    """Relocking rounds per attacked sample."""
+    if full_evaluation:
+        return 200
+    return int(os.environ.get("REPRO_BENCH_ROUNDS", "25"))
+
+
+def write_result(results_dir: Path, name: str, text: str) -> Path:
+    """Write a regenerated table to ``benchmarks/results/<name>.txt``."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path

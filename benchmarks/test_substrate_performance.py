@@ -1,0 +1,81 @@
+"""Substrate performance benchmarks (not tied to a paper figure).
+
+These measure the cost of the building blocks a user pays for on every call:
+parsing, code generation, locking a full-size synthetic benchmark, and
+extracting localities from a locked design.  They use pytest-benchmark's
+normal repeated timing (no shape assertions beyond sanity checks).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.attacks import LocalityExtractor
+from repro.bench import load_benchmark
+from repro.locking import AssureLocker, ERALocker
+from repro.rtlir import Design
+from repro.verilog import generate, parse
+
+
+@pytest.fixture(scope="module")
+def n2046_design() -> Design:
+    return load_benchmark("N_2046")
+
+
+@pytest.fixture(scope="module")
+def md5_design() -> Design:
+    return load_benchmark("MD5", seed=0)
+
+
+@pytest.fixture(scope="module")
+def locked_md5(md5_design) -> Design:
+    budget = int(0.75 * md5_design.num_operations())
+    return AssureLocker("serial", rng=random.Random(0),
+                        track_metrics=False).lock(md5_design, budget).design
+
+
+def test_parse_throughput_n2046(benchmark, n2046_design):
+    text = n2046_design.to_verilog()
+    source = benchmark(parse, text)
+    assert source.top.name == "N_2046"
+
+
+def test_codegen_throughput_n2046(benchmark, n2046_design):
+    text = benchmark(generate, n2046_design.source)
+    assert "module N_2046" in text
+
+
+def test_assure_locking_full_md5(benchmark, md5_design):
+    budget = int(0.75 * md5_design.num_operations())
+
+    def lock():
+        return AssureLocker("serial", rng=random.Random(0),
+                            track_metrics=False).lock(md5_design, budget)
+
+    result = benchmark.pedantic(lock, rounds=3, iterations=1)
+    assert result.bits_used == budget
+
+
+def test_era_locking_full_md5(benchmark, md5_design):
+    budget = int(0.75 * md5_design.num_operations())
+
+    def lock():
+        return ERALocker(rng=random.Random(0),
+                         track_metrics=False).lock(md5_design, budget)
+
+    result = benchmark.pedantic(lock, rounds=3, iterations=1)
+    assert result.bits_used >= budget
+
+
+def test_locality_extraction_locked_md5(benchmark, locked_md5):
+    extractor = LocalityExtractor()
+    features, labels = benchmark(extractor.extract_matrix, locked_md5)
+    assert features.shape[0] == locked_md5.key_width
+    assert labels.shape[0] == locked_md5.key_width
+
+
+def test_operation_census_n2046(benchmark, n2046_design):
+    census = benchmark(n2046_design.operation_census)
+    assert census["+"] == 2046

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Quickstart: parse a design, lock it three ways, attack it, compare KPA.
+
+This walks through the full story of the paper on a single small benchmark:
+
+1. load an RTL design (a scaled-down MD5-like core),
+2. lock it with baseline ASSURE (serial), HRA and ERA at a 75 % key budget,
+3. run the RTL SnapShot attack against each locked design,
+4. print the locked Verilog of one design and the KPA comparison.
+
+Run with ``python examples/quickstart.py`` (takes a few seconds) or pass
+``--scale``/``--rounds`` to make it bigger.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+
+from repro.attacks import SnapShotAttack
+from repro.bench import load_benchmark
+from repro.eval import format_table
+from repro.locking import AssureLocker, ERALocker, HRALocker
+from repro.rtlir import analyze_design
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="MD5",
+                        help="benchmark name (default: MD5)")
+    parser.add_argument("--scale", type=float, default=0.2,
+                        help="benchmark scale factor (default: 0.2)")
+    parser.add_argument("--budget", type=float, default=0.75,
+                        help="key budget as a fraction of operations")
+    parser.add_argument("--rounds", type=int, default=20,
+                        help="relocking rounds for the attack training set")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--show-verilog", action="store_true",
+                        help="print the ERA-locked Verilog")
+    args = parser.parse_args()
+
+    design = load_benchmark(args.benchmark, scale=args.scale, seed=args.seed)
+    print(analyze_design(design).to_text())
+    print()
+
+    budget = max(1, int(args.budget * design.num_operations()))
+    lockers = {
+        "assure": AssureLocker("serial", rng=random.Random(args.seed)),
+        "hra": HRALocker(rng=random.Random(args.seed + 1)),
+        "era": ERALocker(rng=random.Random(args.seed + 2)),
+    }
+
+    rows = []
+    era_design = None
+    for name, locker in lockers.items():
+        locked = locker.lock(design, key_budget=budget)
+        attack = SnapShotAttack(rounds=args.rounds, time_budget=5.0,
+                                rng=random.Random(args.seed + 10))
+        result = attack.attack(locked.design, algorithm=name)
+        rows.append([name.upper(), locked.bits_used, budget,
+                     f"{locked.tracker.final_restricted:.1f}"
+                     if locked.tracker else "-",
+                     result.kpa, result.model_name])
+        if name == "era":
+            era_design = locked.design
+
+    print(format_table(
+        ["algorithm", "bits used", "budget", "M_r_sec", "KPA (%)", "attack model"],
+        rows,
+        title=f"SnapShot attack on {args.benchmark} "
+              f"(scale {args.scale}, {design.num_operations()} operations)"))
+    print("\nExpected shape: ASSURE and HRA leak well above the 50 % random-guess"
+          "\nline, ERA stays at (or below) it.")
+
+    if args.show_verilog and era_design is not None:
+        print("\n--- ERA-locked Verilog " + "-" * 40)
+        print(era_design.to_verilog())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Reproduce the Fig. 6 evaluation: SnapShot KPA vs. ASSURE / HRA / ERA.
+
+By default the script runs a *reduced* configuration (scaled benchmarks, a
+handful of locked samples, a short auto-ML budget) so it finishes in a few
+minutes on a laptop while preserving the paper's qualitative result.  Pass
+``--full`` for the full-size benchmarks and paper-style sample counts — this
+takes hours, exactly like the original evaluation.
+
+The output is the Fig. 6a per-benchmark KPA table, the Fig. 6b average KPA
+table side by side with the paper's numbers, and the shape checks the
+reproduction is judged by (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.eval import ExperimentConfig, SnapShotExperiment, experiment_report
+from repro.bench import benchmark_names
+
+
+def build_config(args: argparse.Namespace) -> ExperimentConfig:
+    if args.full:
+        return ExperimentConfig(
+            benchmarks=args.benchmarks or benchmark_names(),
+            scale=1.0,
+            n_test_lockings=10,
+            relock_rounds=args.rounds or 200,
+            automl_time_budget=30.0,
+            seed=args.seed,
+        )
+    return ExperimentConfig(
+        benchmarks=args.benchmarks or ["MD5", "FIR", "SASC", "USB_PHY",
+                                       "N_2046", "N_1023"],
+        scale=args.scale,
+        n_test_lockings=args.samples,
+        relock_rounds=args.rounds or 40,
+        automl_time_budget=5.0,
+        seed=args.seed,
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="full-size benchmarks and paper-style sample counts")
+    parser.add_argument("--benchmarks", nargs="*", default=None,
+                        help="subset of benchmarks to evaluate")
+    parser.add_argument("--scale", type=float, default=0.15,
+                        help="benchmark scale for the reduced configuration")
+    parser.add_argument("--samples", type=int, default=3,
+                        help="locked samples per benchmark/algorithm (reduced run)")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="relocking rounds per attacked sample")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    config = build_config(args)
+    print(f"Benchmarks : {', '.join(config.benchmarks)}")
+    print(f"Scale      : {config.scale}")
+    print(f"Samples    : {config.n_test_lockings} per benchmark/algorithm")
+    print(f"Relock rounds per sample: {config.relock_rounds}")
+    print()
+
+    result = SnapShotExperiment(config).run()
+    print(experiment_report(result))
+
+
+if __name__ == "__main__":
+    main()

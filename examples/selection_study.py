@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Reproduce the operation-selection study of Fig. 4 on a ``+``-network.
+
+The script locks a structurally regular network of additions, then collects
+attacker observations under the three relocking scenarios of the paper
+(serial, random, random without overlap) and prints the observation analysis:
+how contradictory the observations are, how strongly they point at ``+`` being
+the real operation, and how well the induced rule recovers the test key.
+
+Run with ``python examples/selection_study.py`` (seconds) or increase
+``--operations`` / ``--rounds`` for smoother statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.eval import figure4_observation_analysis, observation_table_text
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--operations", type=int, default=64,
+                        help="size of the +-network (default: 64)")
+    parser.add_argument("--rounds", type=int, default=20,
+                        help="training (relocking) rounds per scenario")
+    parser.add_argument("--budget", type=int, default=None,
+                        help="key budget (default: half the operations)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    pools = figure4_observation_analysis(
+        n_operations=args.operations,
+        training_rounds=args.rounds,
+        key_budget=args.budget,
+        seed=args.seed,
+    )
+
+    print(observation_table_text(pools))
+    print()
+    print("Reading the table (cf. Fig. 4e-g of the paper):")
+    print("  * serial            — training relocks the same operations as the")
+    print("    test locking, so '+' and '-' are equally associated with both key")
+    print("    values: contradictory observations, no reliable inference.")
+    print("  * random            — training and test locking overlap partially,")
+    print("    so '+' is *more likely* to be the real operation (educated guess).")
+    print("  * random-no-overlap — training only touches operations the test")
+    print("    locking left alone, every observation names '+' as real, and the")
+    print("    key can be inferred outright.")
+    print()
+    for name, pool in pools.items():
+        observed_pairs = ", ".join(
+            f"({a},{b})×{sum(c.values())}" for (a, b), c in
+            sorted(pool.pair_label_counts.items()))
+        print(f"  {name:>18}: observed pairs {observed_pairs}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,178 @@
+"""Non-ML baseline attacks used for comparison and for the leakage study.
+
+* :class:`RandomGuessAttack` — the 50 % KPA reference line.
+* :class:`MajorityVoteAttack` — a table-lookup attacker that memorises, for
+  every observed operation pair, the majority key value seen in the
+  self-referencing training set.  This is the simplest data-driven attacker
+  and captures the statistical signal the ML models learn.
+* :class:`PairAsymmetryAttack` — the analytical attack of Section 3.2: with
+  the original (asymmetric) ASSURE pair table, observing the pair ``{T, T'}``
+  where only ``(T, T')`` exists in the table reveals that ``T`` is the real
+  operation — no training required.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..locking.pairs import ORIGINAL_ASSURE_TABLE, PairTable
+from ..rtlir.design import Design
+from ..rtlir.operations import NO_OPERATION, decode_operator
+from .kpa import kpa
+from .locality import LocalityExtractor
+from .relock import TrainingSetBuilder
+from .snapshot import AttackResult
+
+
+class RandomGuessAttack:
+    """Predict every key bit by an unbiased coin flip."""
+
+    name = "random-guess"
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        self.rng = rng or random.Random()
+
+    def attack(self, target: Design, algorithm: Optional[str] = None) -> AttackResult:
+        """Guess the key of ``target`` uniformly at random."""
+        if not target.is_locked:
+            raise ValueError("the target design must be locked")
+        correct = target.correct_key
+        predicted = [self.rng.randint(0, 1) for _ in correct]
+        return AttackResult(
+            design_name=target.name,
+            predicted_key=predicted,
+            correct_key=correct,
+            kpa=kpa(predicted, correct),
+            model_name=self.name,
+            training_size=0,
+            per_bit_correct=[p == c for p, c in zip(predicted, correct)],
+            metadata={"locking_algorithm": algorithm or "unknown"},
+        )
+
+
+class MajorityVoteAttack:
+    """Lookup-table attacker over observed operation pairs.
+
+    The attacker relocks the target (like SnapShot) but instead of training a
+    model it simply records, for every observed ``(C1, C2)`` pair, which key
+    value occurred more often, and replays that majority on the target.
+    """
+
+    name = "majority-vote"
+
+    def __init__(self, rounds: int = 20, relock_budget: Optional[int] = None,
+                 pair_table: Optional[PairTable] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        self.rounds = rounds
+        self.relock_budget = relock_budget
+        self.pair_table = pair_table
+        self.rng = rng or random.Random()
+
+    def attack(self, target: Design, algorithm: Optional[str] = None) -> AttackResult:
+        """Build the pair-majority table from relocking and predict the key."""
+        if not target.is_locked:
+            raise ValueError("the target design must be locked")
+        extractor = LocalityExtractor("pair")
+        builder = TrainingSetBuilder(extractor=extractor, rounds=self.rounds,
+                                     relock_budget=self.relock_budget,
+                                     pair_table=self.pair_table,
+                                     rng=random.Random(self.rng.getrandbits(64)))
+        training = builder.build(target)
+
+        votes: Dict[Tuple[float, float], List[int]] = {}
+        for features, label in zip(training.features, training.labels):
+            votes.setdefault((features[0], features[1]), []).append(int(label))
+        majority = {pair: int(round(np.mean(values)))
+                    for pair, values in votes.items()}
+
+        target_features, _ = extractor.extract_matrix(target)
+        predicted = []
+        for row in target_features:
+            pair = (row[0], row[1])
+            if pair in majority:
+                predicted.append(majority[pair])
+            else:
+                predicted.append(self.rng.randint(0, 1))
+        correct = target.correct_key
+        return AttackResult(
+            design_name=target.name,
+            predicted_key=predicted,
+            correct_key=correct,
+            kpa=kpa(predicted, correct),
+            model_name=self.name,
+            training_size=training.size,
+            per_bit_correct=[p == c for p, c in zip(predicted, correct)],
+            metadata={"locking_algorithm": algorithm or "unknown",
+                      "distinct_pairs": len(majority)},
+        )
+
+
+class PairAsymmetryAttack:
+    """The training-free attack against the leaky ASSURE pair table (Sec. 3.2).
+
+    Args:
+        pair_table: The pair table the attacker assumes the defender used
+            (the original, asymmetric ASSURE table by default).
+        rng: Random source for pairs that the table cannot disambiguate.
+    """
+
+    name = "pair-asymmetry"
+
+    def __init__(self, pair_table: PairTable = ORIGINAL_ASSURE_TABLE,
+                 rng: Optional[random.Random] = None) -> None:
+        self.pair_table = pair_table
+        self.rng = rng or random.Random()
+
+    def attack(self, target: Design, algorithm: Optional[str] = None) -> AttackResult:
+        """Predict each key bit from pair-table asymmetry alone."""
+        if not target.is_locked:
+            raise ValueError("the target design must be locked")
+        extractor = LocalityExtractor("pair")
+        localities = extractor.extract(target)
+        predicted: List[int] = []
+        resolved = 0
+        for locality in localities:
+            decision = self._decide(locality.features[0], locality.features[1])
+            if decision is None:
+                predicted.append(self.rng.randint(0, 1))
+            else:
+                predicted.append(decision)
+                resolved += 1
+        correct = target.correct_key
+        return AttackResult(
+            design_name=target.name,
+            predicted_key=predicted,
+            correct_key=correct,
+            kpa=kpa(predicted, correct),
+            model_name=self.name,
+            training_size=0,
+            per_bit_correct=[p == c for p, c in zip(predicted, correct)],
+            metadata={"locking_algorithm": algorithm or "unknown",
+                      "resolved_bits": resolved,
+                      "resolved_fraction": resolved / max(len(localities), 1)},
+        )
+
+    def _decide(self, true_code: float, false_code: float) -> Optional[int]:
+        """Return the key value revealed by table asymmetry, or None."""
+        if true_code == NO_OPERATION or false_code == NO_OPERATION:
+            return None
+        try:
+            true_op = decode_operator(int(true_code))
+            false_op = decode_operator(int(false_code))
+        except KeyError:
+            return None
+        # ``(real, dummy)`` exists in the table exactly when ``dummy_of(real)
+        # == dummy``.  If only one orientation of the observed pair exists,
+        # the real operation — and therefore the key value — is revealed.
+        true_is_real = (self.pair_table.has_pair(true_op)
+                        and self.pair_table.dummy_of(true_op) == false_op)
+        false_is_real = (self.pair_table.has_pair(false_op)
+                         and self.pair_table.dummy_of(false_op) == true_op)
+        if true_is_real and not false_is_real:
+            return 1
+        if false_is_real and not true_is_real:
+            return 0
+        return None

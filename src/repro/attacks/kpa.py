@@ -1,0 +1,87 @@
+"""Key Prediction Accuracy (KPA) — the attack-success metric of the paper.
+
+``N %`` KPA means ``N %`` of the key bits were predicted correctly; a random
+guess scores 50 % on average.  The helpers here compute KPA for single
+designs, aggregate it over locked samples and benchmarks, and provide the
+random-guess reference line of Fig. 6a.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+#: KPA of an ideal random guess (percent).
+RANDOM_GUESS_KPA = 50.0
+
+
+def kpa(predicted: Sequence[int], correct: Sequence[int]) -> float:
+    """Key prediction accuracy in percent.
+
+    Raises:
+        ValueError: for empty or mismatched keys.
+    """
+    predicted_arr = np.asarray(predicted, dtype=int)
+    correct_arr = np.asarray(correct, dtype=int)
+    if correct_arr.size == 0:
+        raise ValueError("correct key is empty")
+    if predicted_arr.shape != correct_arr.shape:
+        raise ValueError("predicted and correct keys must have equal length")
+    return float(100.0 * np.mean(predicted_arr == correct_arr))
+
+
+@dataclass
+class KpaSample:
+    """KPA of one attacked locked sample."""
+
+    design_name: str
+    algorithm: str
+    value: float
+    key_width: int
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class KpaAggregate:
+    """Aggregated KPA statistics over a group of samples."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "KpaAggregate":
+        """Aggregate a list of per-sample KPA values.
+
+        Raises:
+            ValueError: for an empty value list.
+        """
+        arr = np.asarray(values, dtype=float)
+        if arr.size == 0:
+            raise ValueError("cannot aggregate an empty KPA list")
+        return cls(mean=float(arr.mean()), std=float(arr.std()),
+                   minimum=float(arr.min()), maximum=float(arr.max()),
+                   count=int(arr.size))
+
+
+def aggregate_by(samples: Sequence[KpaSample],
+                 key: str = "algorithm") -> Dict[str, KpaAggregate]:
+    """Group samples by ``design_name`` or ``algorithm`` and aggregate each group."""
+    if key not in ("design_name", "algorithm"):
+        raise ValueError("key must be 'design_name' or 'algorithm'")
+    groups: Dict[str, List[float]] = {}
+    for sample in samples:
+        groups.setdefault(getattr(sample, key), []).append(sample.value)
+    return {name: KpaAggregate.from_values(values) for name, values in groups.items()}
+
+
+def average_kpa(per_benchmark: Mapping[str, float]) -> float:
+    """Unweighted average KPA over benchmarks (the Fig. 6b aggregation)."""
+    values = list(per_benchmark.values())
+    if not values:
+        raise ValueError("no benchmark KPA values to average")
+    return float(np.mean(values))

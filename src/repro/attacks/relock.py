@@ -1,0 +1,107 @@
+"""Training-set construction by self-referencing (relocking).
+
+The oracle-less SnapShot attack cannot query a working chip, so it creates its
+own labelled data: the locked *target* design is relocked again and again with
+fresh random keys (which the attacker chose, hence knows), and the localities
+of those new key bits become labelled training samples (Fig. 2 of the paper,
+"Relocking" / "Extraction" steps).
+
+The paper relocks with *random* ASSURE selection "so that all parts of the
+design were used for learning"; :class:`TrainingSetBuilder` follows that
+default but accepts any locker with a ``lock``/``relock`` interface.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..locking.assure import AssureLocker
+from ..locking.pairs import PairTable
+from ..rtlir.design import Design
+from .locality import LocalityExtractor
+
+
+@dataclass
+class TrainingSet:
+    """Labelled localities assembled from relocked copies of the target."""
+
+    features: np.ndarray
+    labels: np.ndarray
+    rounds: int
+    bits_per_round: int
+
+    @property
+    def size(self) -> int:
+        """Number of training samples."""
+        return int(self.features.shape[0])
+
+    def label_balance(self) -> float:
+        """Fraction of samples with label 1 (0.5 = perfectly balanced)."""
+        if self.labels.size == 0:
+            return 0.0
+        return float(np.mean(self.labels == 1))
+
+
+class TrainingSetBuilder:
+    """Build a SnapShot training set by relocking the target design.
+
+    Args:
+        extractor: Locality extractor (shared with the deployment step so the
+            feature space matches).
+        relock_budget: Key bits added per relocking round; defaults to the
+            number of key bits already present in the target (i.e. the same
+            budget the defender used).
+        rounds: Number of relocking rounds.
+        pair_table: Pair table used for relocking (the attacker knows the
+            locking scheme, threat-model assumption 2).
+        rng: Random source.
+    """
+
+    def __init__(self, extractor: Optional[LocalityExtractor] = None,
+                 relock_budget: Optional[int] = None, rounds: int = 20,
+                 pair_table: Optional[PairTable] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        if rounds < 1:
+            raise ValueError("at least one relocking round is required")
+        self.extractor = extractor or LocalityExtractor()
+        self.relock_budget = relock_budget
+        self.rounds = rounds
+        self.pair_table = pair_table
+        self.rng = rng or random.Random()
+
+    def build(self, target: Design) -> TrainingSet:
+        """Relock ``target`` ``rounds`` times and extract labelled localities.
+
+        Raises:
+            ValueError: if the target is not locked (there is nothing to
+                self-reference against).
+        """
+        if not target.is_locked:
+            raise ValueError("the target design must be locked")
+        budget = self.relock_budget or target.key_width
+        original_width = target.key_width
+
+        feature_blocks: List[np.ndarray] = []
+        label_blocks: List[np.ndarray] = []
+        for round_index in range(self.rounds):
+            locker = AssureLocker(
+                selection="random",
+                pair_table=self.pair_table,
+                rng=random.Random(self.rng.getrandbits(64)),
+                track_metrics=False,
+            )
+            relocked = locker.relock(target, key_budget=budget)
+            new_indices = range(original_width, relocked.design.key_width)
+            features, labels = self.extractor.extract_matrix(
+                relocked.design, key_indices=list(new_indices))
+            feature_blocks.append(features)
+            label_blocks.append(labels)
+
+        features = np.vstack(feature_blocks) if feature_blocks else np.zeros((0, self.extractor.n_features))
+        labels = np.concatenate(label_blocks) if label_blocks else np.zeros((0,), dtype=int)
+        return TrainingSet(features=features, labels=labels, rounds=self.rounds,
+                           bits_per_round=budget)

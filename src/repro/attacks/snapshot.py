@@ -1,0 +1,188 @@
+"""The RTL adaptation of the SnapShot attack (Fig. 2 of the paper).
+
+The attack is oracle-less and purely structural:
+
+1. **Relocking** — the locked target is relocked many times with fresh keys
+   (self-referencing) to create labelled samples.
+2. **Extraction** — for every key bit a locality ``[K[i], C1, C2]`` is
+   extracted (:mod:`repro.attacks.locality`).
+3. **Training** — an auto-ML model (:class:`repro.ml.AutoMLClassifier` by
+   default, the auto-sklearn substitute) is trained to associate localities
+   with key values.
+4. **Deployment** — the model predicts the target's key bits; success is
+   measured with KPA.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..locking.pairs import PairTable
+from ..ml.automl import AutoMLClassifier
+from ..ml.base import Estimator
+from ..rtlir.design import Design
+from .kpa import kpa
+from .locality import LocalityExtractor
+from .relock import TrainingSet, TrainingSetBuilder
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one SnapShot attack on one locked design.
+
+    Attributes:
+        design_name: Name of the attacked design.
+        predicted_key: Predicted key-bit values, indexed by key position.
+        correct_key: The true key (known to the experiment, not the attacker).
+        kpa: Key prediction accuracy in percent.
+        model_name: Identifier of the trained model (auto-ML winner).
+        training_size: Number of training localities used.
+        per_bit_correct: Boolean list, one entry per key bit.
+        metadata: Extra run information (rounds, budgets, ...).
+    """
+
+    design_name: str
+    predicted_key: List[int]
+    correct_key: List[int]
+    kpa: float
+    model_name: str
+    training_size: int
+    per_bit_correct: List[bool] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def key_width(self) -> int:
+        """Number of attacked key bits."""
+        return len(self.correct_key)
+
+
+class SnapShotAttack:
+    """Oracle-less, ML-driven structural attack on RTL operation locking.
+
+    Args:
+        model: Classifier trained on the localities.  Defaults to a fresh
+            :class:`~repro.ml.automl.AutoMLClassifier` per attack (mirroring
+            the per-iteration auto-ml search of the paper).
+        rounds: Relocking rounds used to assemble the training set (the paper
+            uses 1000; the default here is laptop-friendly and configurable).
+        relock_budget: Key bits per relocking round (defaults to the target's
+            own key width).
+        feature_set: Locality feature set (``pair`` or ``extended``).
+        pair_table: Pair table assumed by the attacker for relocking.
+        time_budget: Auto-ML time budget in seconds (only used for the default
+            model).
+        max_training_samples: Cap on the number of training localities handed
+            to the model; larger training sets are subsampled uniformly.  The
+            statistical signal (operation-pair frequencies) is preserved while
+            the model-search cost stays bounded on very large targets.
+        rng: Random source.
+    """
+
+    name = "snapshot-rtl"
+
+    def __init__(self, model: Optional[Estimator] = None, rounds: int = 20,
+                 relock_budget: Optional[int] = None, feature_set: str = "pair",
+                 pair_table: Optional[PairTable] = None,
+                 time_budget: float = 10.0,
+                 max_training_samples: int = 20000,
+                 rng: Optional[random.Random] = None) -> None:
+        if max_training_samples < 1:
+            raise ValueError("max_training_samples must be positive")
+        self.model = model
+        self.rounds = rounds
+        self.relock_budget = relock_budget
+        self.feature_set = feature_set
+        self.pair_table = pair_table
+        self.time_budget = time_budget
+        self.max_training_samples = max_training_samples
+        self.rng = rng or random.Random()
+
+    # ------------------------------------------------------------------ steps
+
+    def build_training_set(self, target: Design) -> TrainingSet:
+        """Step 1+2: relock the target and extract labelled localities."""
+        extractor = LocalityExtractor(self.feature_set)
+        builder = TrainingSetBuilder(
+            extractor=extractor,
+            relock_budget=self.relock_budget,
+            rounds=self.rounds,
+            pair_table=self.pair_table,
+            rng=random.Random(self.rng.getrandbits(64)),
+        )
+        return builder.build(target)
+
+    def train_model(self, training_set: TrainingSet) -> Estimator:
+        """Step 3: fit the (auto-ML) model on the training localities."""
+        if self.model is not None:
+            model = self.model.clone()
+        else:
+            model = AutoMLClassifier(
+                time_budget=self.time_budget,
+                random_state=self.rng.randrange(2 ** 31),
+            )
+        features, labels = training_set.features, training_set.labels
+        if features.shape[0] > self.max_training_samples:
+            generator = np.random.default_rng(self.rng.randrange(2 ** 31))
+            keep = generator.choice(features.shape[0],
+                                    size=self.max_training_samples,
+                                    replace=False)
+            features, labels = features[keep], labels[keep]
+        model.fit(features, labels)
+        return model
+
+    def predict_key(self, model: Estimator, target: Design) -> List[int]:
+        """Step 4: extract the target localities and predict its key bits."""
+        extractor = LocalityExtractor(self.feature_set)
+        features, _ = extractor.extract_matrix(target)
+        predictions = model.predict(features)
+        return [int(v) for v in predictions]
+
+    # ------------------------------------------------------------------ attack
+
+    def attack(self, target: Design,
+               algorithm: Optional[str] = None) -> AttackResult:
+        """Run the full attack flow against one locked design.
+
+        Args:
+            target: The locked design under attack.
+            algorithm: Optional name of the locking algorithm (recorded in the
+                result metadata for reporting).
+
+        Raises:
+            ValueError: if the target design is not locked.
+        """
+        if not target.is_locked:
+            raise ValueError("the target design must be locked")
+
+        training_set = self.build_training_set(target)
+        model = self.train_model(training_set)
+        predicted = self.predict_key(model, target)
+        correct = target.correct_key
+        per_bit = [int(p) == int(c) for p, c in zip(predicted, correct)]
+
+        model_name = getattr(model, "best_model_name", type(model).__name__)
+        return AttackResult(
+            design_name=target.name,
+            predicted_key=predicted,
+            correct_key=correct,
+            kpa=kpa(predicted, correct),
+            model_name=str(model_name),
+            training_size=training_set.size,
+            per_bit_correct=per_bit,
+            metadata={
+                "rounds": training_set.rounds,
+                "relock_budget": training_set.bits_per_round,
+                "feature_set": self.feature_set,
+                "locking_algorithm": algorithm or "unknown",
+                "training_label_balance": training_set.label_balance(),
+            },
+        )
+
+    def attack_many(self, targets: Sequence[Design],
+                    algorithm: Optional[str] = None) -> List[AttackResult]:
+        """Attack a list of locked samples (e.g. one benchmark locked N times)."""
+        return [self.attack(target, algorithm=algorithm) for target in targets]

@@ -1,0 +1,272 @@
+"""Command-line interface for the repro library.
+
+The CLI wraps the most common workflows so a design can be analysed, locked
+and attacked without writing Python:
+
+* ``repro-lock analyze  design.v``                    — operation census, imbalance, dataflow stats
+* ``repro-lock lock     design.v -a era -o out.v``    — lock a design, write Verilog + key
+* ``repro-lock attack   locked.v --key-file key.txt`` — run SnapShot against a locked design
+* ``repro-lock bench    --list``                      — list / generate benchmark designs
+* ``repro-lock evaluate --benchmarks MD5 FIR``        — run the Fig. 6 style evaluation
+
+Every subcommand is importable and tested through :func:`main` with an
+argument list, and is also installed as the ``repro-lock`` console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .attacks import MajorityVoteAttack, RandomGuessAttack, SnapShotAttack
+from .bench import benchmark_names, get_profile, load_benchmark
+from .eval import (
+    ExperimentConfig,
+    SnapShotExperiment,
+    experiment_report,
+    format_table,
+    make_locker,
+)
+from .locking import odt_from_design
+from .locking.key import string_to_key
+from .rtlir import Design, KeyBit, analyze_design
+
+#: Locking algorithm choices exposed on the command line.
+ALGORITHMS = ("assure", "assure-random", "hra", "greedy", "era")
+
+
+def _load_design(path: Path, top: Optional[str]) -> Design:
+    if not path.exists():
+        raise SystemExit(f"error: input file {path} does not exist")
+    return Design.from_file(path, top_name=top)
+
+
+# ---------------------------------------------------------------------------
+# Subcommand implementations
+# ---------------------------------------------------------------------------
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Print the structural report of a design."""
+    design = _load_design(args.input, args.top)
+    print(analyze_design(design).to_text())
+    print()
+    print(odt_from_design(design).to_text())
+    return 0
+
+
+def cmd_lock(args: argparse.Namespace) -> int:
+    """Lock a design and write the locked Verilog plus key metadata."""
+    design = _load_design(args.input, args.top)
+    if design.num_operations() == 0:
+        print("error: the design contains no lockable operations", file=sys.stderr)
+        return 1
+    if args.key_bits is not None:
+        budget = args.key_bits
+    else:
+        budget = max(1, int(round(args.budget * design.num_operations())))
+
+    locker = make_locker(args.algorithm, random.Random(args.seed),
+                         track_metrics=True)
+    result = locker.lock(design, key_budget=budget)
+    locked = result.design
+
+    print(f"Locked {design.name} with {result.algorithm}: {result.summary()}")
+    print(f"Correct key (MSB first): {locked.correct_key_string()}")
+
+    output = args.output or args.input.with_suffix(".locked.v")
+    output.write_text(locked.to_verilog())
+    print(f"Locked Verilog written to {output}")
+
+    key_file = args.key_file or output.with_suffix(".key.json")
+    key_file.write_text(json.dumps(_key_metadata(locked), indent=2) + "\n")
+    print(f"Key metadata written to {key_file}")
+    return 0
+
+
+def _key_metadata(design: Design) -> dict:
+    return {
+        "design": design.name,
+        "key_port": design.key_port,
+        "key_width": design.key_width,
+        "correct_key": design.correct_key_string(),
+        "bits": [
+            {
+                "index": bit.index,
+                "kind": bit.kind,
+                "correct_value": bit.correct_value,
+                "real_op": bit.real_op,
+                "dummy_op": bit.dummy_op,
+            }
+            for bit in design.key_bits
+        ],
+    }
+
+
+def _design_from_key_metadata(path: Path, top: Optional[str],
+                              key_file: Path) -> Design:
+    design = _load_design(path, top)
+    metadata = json.loads(key_file.read_text())
+    design.key_port = metadata["key_port"]
+    design.key_bits = [
+        KeyBit(index=entry["index"], kind=entry["kind"],
+               correct_value=entry["correct_value"],
+               real_op=entry.get("real_op"), dummy_op=entry.get("dummy_op"))
+        for entry in metadata["bits"]
+    ]
+    return design
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    """Attack a locked design and report the KPA."""
+    if args.key_file is None:
+        print("error: --key-file (produced by 'lock') is required to score the "
+              "attack", file=sys.stderr)
+        return 1
+    design = _design_from_key_metadata(args.input, args.top, args.key_file)
+    if not design.is_locked:
+        print("error: the key metadata lists no key bits", file=sys.stderr)
+        return 1
+
+    attacks = {"snapshot": SnapShotAttack(rounds=args.rounds,
+                                          time_budget=args.time_budget,
+                                          rng=random.Random(args.seed)),
+               "majority": MajorityVoteAttack(rounds=args.rounds,
+                                              rng=random.Random(args.seed)),
+               "random": RandomGuessAttack(random.Random(args.seed))}
+    attack = attacks[args.attack]
+    result = attack.attack(design)
+    print(f"Attack        : {args.attack}")
+    print(f"Model         : {result.model_name}")
+    print(f"Training size : {result.training_size}")
+    print(f"Key width     : {result.key_width}")
+    print(f"KPA           : {result.kpa:.2f} % (random guess = 50 %)")
+    if args.show_key:
+        predicted = "".join(str(b) for b in reversed(result.predicted_key))
+        print(f"Predicted key : {predicted}")
+        print(f"Correct key   : {design.correct_key_string()}")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """List benchmarks or emit one as Verilog."""
+    if args.list or args.name is None:
+        rows = []
+        for name in benchmark_names():
+            profile = get_profile(name)
+            rows.append([name, profile.total_operations, profile.width,
+                         profile.description])
+        print(format_table(["benchmark", "operations", "width", "description"],
+                           rows, title="Available benchmarks"))
+        return 0
+    design = load_benchmark(args.name, scale=args.scale, seed=args.seed)
+    text = design.to_verilog()
+    if args.output is not None:
+        args.output.write_text(text)
+        print(f"{args.name} written to {args.output} "
+              f"({design.num_operations()} operations)")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    """Run the Fig. 6 style evaluation on a set of benchmarks."""
+    config = ExperimentConfig(
+        benchmarks=args.benchmarks or ["MD5", "FIR", "SASC", "N_2046", "N_1023"],
+        algorithms=tuple(args.algorithms),
+        scale=args.scale,
+        n_test_lockings=args.samples,
+        relock_rounds=args.rounds,
+        automl_time_budget=args.time_budget,
+        seed=args.seed,
+    )
+    result = SnapShotExperiment(config).run()
+    report = experiment_report(result)
+    print(report)
+    if args.output is not None:
+        args.output.write_text(report + "\n")
+        print(f"\nReport written to {args.output}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Argument parsing
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lock",
+        description="ML-resilient RTL logic locking (DAC 2022 reproduction)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    analyze = subparsers.add_parser("analyze", help="analyse a Verilog design")
+    analyze.add_argument("input", type=Path)
+    analyze.add_argument("--top", default=None)
+    analyze.set_defaults(func=cmd_analyze)
+
+    lock = subparsers.add_parser("lock", help="lock a Verilog design")
+    lock.add_argument("input", type=Path)
+    lock.add_argument("--top", default=None)
+    lock.add_argument("-a", "--algorithm", choices=ALGORITHMS, default="era")
+    lock.add_argument("--budget", type=float, default=0.75,
+                      help="key budget as a fraction of lockable operations")
+    lock.add_argument("--key-bits", type=int, default=None,
+                      help="absolute key budget (overrides --budget)")
+    lock.add_argument("-o", "--output", type=Path, default=None)
+    lock.add_argument("--key-file", type=Path, default=None)
+    lock.add_argument("--seed", type=int, default=0)
+    lock.set_defaults(func=cmd_lock)
+
+    attack = subparsers.add_parser("attack", help="attack a locked design")
+    attack.add_argument("input", type=Path)
+    attack.add_argument("--top", default=None)
+    attack.add_argument("--key-file", type=Path, default=None,
+                        help="key metadata JSON produced by the lock command")
+    attack.add_argument("--attack", choices=("snapshot", "majority", "random"),
+                        default="snapshot")
+    attack.add_argument("--rounds", type=int, default=30)
+    attack.add_argument("--time-budget", type=float, default=8.0)
+    attack.add_argument("--show-key", action="store_true")
+    attack.add_argument("--seed", type=int, default=0)
+    attack.set_defaults(func=cmd_attack)
+
+    bench = subparsers.add_parser("bench", help="list or generate benchmarks")
+    bench.add_argument("name", nargs="?", default=None)
+    bench.add_argument("--list", action="store_true")
+    bench.add_argument("--scale", type=float, default=1.0)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("-o", "--output", type=Path, default=None)
+    bench.set_defaults(func=cmd_bench)
+
+    evaluate = subparsers.add_parser("evaluate",
+                                     help="run the Fig. 6 style evaluation")
+    evaluate.add_argument("--benchmarks", nargs="*", default=None)
+    evaluate.add_argument("--algorithms", nargs="*",
+                          default=["assure", "hra", "era"])
+    evaluate.add_argument("--scale", type=float, default=0.15)
+    evaluate.add_argument("--samples", type=int, default=2)
+    evaluate.add_argument("--rounds", type=int, default=25)
+    evaluate.add_argument("--time-budget", type=float, default=4.0)
+    evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument("-o", "--output", type=Path, default=None)
+    evaluate.set_defaults(func=cmd_evaluate)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Evaluation harness: the lock → attack → KPA pipeline and figure builders."""
+
+from .experiment import (
+    DEFAULT_ALGORITHMS,
+    CellResult,
+    ExperimentConfig,
+    ExperimentResult,
+    SnapShotExperiment,
+    make_locker,
+)
+from .figures import (
+    PAPER_AVERAGE_KPA,
+    Figure6Data,
+    ObservationPool,
+    TrajectoryData,
+    figure4_observation_analysis,
+    figure5_design,
+    figure5_surface,
+    figure5_trajectories,
+    figure6_kpa,
+)
+from .reporting import ShapeCheck, experiment_report, shape_checks
+from .tables import (
+    average_kpa_text,
+    format_table,
+    kpa_table_text,
+    observation_table_text,
+    trajectory_table_text,
+)
+
+__all__ = [
+    "DEFAULT_ALGORITHMS",
+    "CellResult",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "SnapShotExperiment",
+    "make_locker",
+    "PAPER_AVERAGE_KPA",
+    "Figure6Data",
+    "ObservationPool",
+    "TrajectoryData",
+    "figure4_observation_analysis",
+    "figure5_design",
+    "figure5_surface",
+    "figure5_trajectories",
+    "figure6_kpa",
+    "ShapeCheck",
+    "experiment_report",
+    "shape_checks",
+    "average_kpa_text",
+    "format_table",
+    "kpa_table_text",
+    "observation_table_text",
+    "trajectory_table_text",
+]

@@ -1,0 +1,215 @@
+"""The lock → attack → KPA experiment pipeline of Section 5.
+
+:class:`SnapShotExperiment` reproduces the paper's evaluation protocol:
+
+* every benchmark is locked ``n_test_lockings`` times with different keys by
+  each locking algorithm (ASSURE serial, HRA, ERA) — these are the *test*
+  samples,
+* the key budget is ``key_budget_fraction`` (75 % in the paper) of the
+  benchmark's lockable operations (ERA may exceed it, and the fully
+  imbalanced ``N_2046`` requires a 100 % budget for ERA),
+* each test sample is attacked by the RTL SnapShot attack, whose training set
+  is assembled by relocking the sample with random ASSURE locking,
+* attack success is reported as KPA per benchmark/algorithm and averaged.
+
+All sizes (scale, relocking rounds, auto-ML budget) are configurable so the
+same pipeline drives both the full reproduction and the quick-running smoke
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..attacks.kpa import KpaAggregate, KpaSample, aggregate_by
+from ..attacks.snapshot import AttackResult, SnapShotAttack
+from ..bench.registry import benchmark_names, load_benchmark
+from ..locking.assure import AssureLocker
+from ..locking.era import ERALocker
+from ..locking.hra import GreedyLocker, HRALocker
+from ..locking.pairs import PairTable
+from ..rtlir.design import Design
+
+#: Locking algorithms evaluated in the paper's Fig. 6.
+DEFAULT_ALGORITHMS = ("assure", "hra", "era")
+
+
+def make_locker(algorithm: str, rng: random.Random,
+                pair_table: Optional[PairTable] = None,
+                track_metrics: bool = False):
+    """Instantiate a locking algorithm by name.
+
+    Args:
+        algorithm: ``assure`` (serial), ``assure-random``, ``hra``, ``greedy``
+            or ``era``.
+        rng: Random source handed to the locker.
+        pair_table: Pair table override.
+        track_metrics: Enable metric-trajectory tracking.
+
+    Raises:
+        ValueError: for unknown algorithm names.
+    """
+    if algorithm in ("assure", "assure-serial"):
+        return AssureLocker("serial", pair_table=pair_table, rng=rng,
+                            track_metrics=track_metrics)
+    if algorithm == "assure-random":
+        return AssureLocker("random", pair_table=pair_table, rng=rng,
+                            track_metrics=track_metrics)
+    if algorithm == "hra":
+        return HRALocker(pair_table=pair_table, rng=rng,
+                         track_metrics=track_metrics)
+    if algorithm == "greedy":
+        return GreedyLocker(pair_table=pair_table, rng=rng,
+                            track_metrics=track_metrics)
+    if algorithm == "era":
+        return ERALocker(pair_table=pair_table, rng=rng,
+                         track_metrics=track_metrics)
+    raise ValueError(f"unknown locking algorithm {algorithm!r}")
+
+
+@dataclass
+class ExperimentConfig:
+    """Configuration of one evaluation run.
+
+    Attributes:
+        benchmarks: Benchmark names (defaults to the paper's 14 designs).
+        algorithms: Locking algorithms to evaluate.
+        scale: Benchmark scale factor (1.0 = full size).
+        key_budget_fraction: Key budget as a fraction of lockable operations.
+        n_test_lockings: Locked samples per benchmark/algorithm (paper: 10).
+        relock_rounds: Relocking rounds per attacked sample (paper: 1000).
+        automl_time_budget: Auto-ML search budget in seconds per attack.
+        feature_set: Locality feature set for the attack.
+        pair_table: Pair table used by lockers and the attacker's relocking.
+        seed: Master seed; every sub-step derives its own stream from it.
+    """
+
+    benchmarks: Sequence[str] = field(default_factory=benchmark_names)
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS
+    scale: float = 1.0
+    key_budget_fraction: float = 0.75
+    n_test_lockings: int = 10
+    relock_rounds: int = 50
+    automl_time_budget: float = 10.0
+    feature_set: str = "pair"
+    pair_table: Optional[PairTable] = None
+    seed: int = 0
+
+
+@dataclass
+class CellResult:
+    """All attack results of one (benchmark, algorithm) cell."""
+
+    benchmark: str
+    algorithm: str
+    attacks: List[AttackResult] = field(default_factory=list)
+    key_budget: int = 0
+    num_operations: int = 0
+
+    @property
+    def mean_kpa(self) -> float:
+        """Mean KPA over the cell's locked samples."""
+        if not self.attacks:
+            raise ValueError("cell holds no attack results")
+        return sum(result.kpa for result in self.attacks) / len(self.attacks)
+
+
+@dataclass
+class ExperimentResult:
+    """Aggregated outcome of an evaluation run."""
+
+    config: ExperimentConfig
+    cells: List[CellResult] = field(default_factory=list)
+
+    def kpa_samples(self) -> List[KpaSample]:
+        """Flatten every attack into a :class:`KpaSample`."""
+        samples: List[KpaSample] = []
+        for cell in self.cells:
+            for attack in cell.attacks:
+                samples.append(KpaSample(
+                    design_name=cell.benchmark,
+                    algorithm=cell.algorithm,
+                    value=attack.kpa,
+                    key_width=attack.key_width,
+                    metadata=dict(attack.metadata),
+                ))
+        return samples
+
+    def kpa_table(self) -> Dict[str, Dict[str, float]]:
+        """Return ``{benchmark: {algorithm: mean KPA}}`` (the Fig. 6a data)."""
+        table: Dict[str, Dict[str, float]] = {}
+        for cell in self.cells:
+            table.setdefault(cell.benchmark, {})[cell.algorithm] = cell.mean_kpa
+        return table
+
+    def average_kpa(self) -> Dict[str, float]:
+        """Return ``{algorithm: average KPA over benchmarks}`` (Fig. 6b)."""
+        aggregates = aggregate_by(self.kpa_samples(), key="algorithm")
+        return {name: agg.mean for name, agg in aggregates.items()}
+
+    def aggregate_by_benchmark(self) -> Dict[str, KpaAggregate]:
+        """Aggregate KPA per benchmark across all algorithms."""
+        return aggregate_by(self.kpa_samples(), key="design_name")
+
+
+class SnapShotExperiment:
+    """Runs the full lock → attack → KPA pipeline of Section 5."""
+
+    def __init__(self, config: Optional[ExperimentConfig] = None) -> None:
+        self.config = config or ExperimentConfig()
+
+    # ---------------------------------------------------------------- running
+
+    def run(self) -> ExperimentResult:
+        """Run every (benchmark, algorithm) cell of the configuration."""
+        result = ExperimentResult(config=self.config)
+        for benchmark in self.config.benchmarks:
+            design = self.load_design(benchmark)
+            for algorithm in self.config.algorithms:
+                result.cells.append(self.run_cell(design, benchmark, algorithm))
+        return result
+
+    def load_design(self, benchmark: str) -> Design:
+        """Load one benchmark at the configured scale."""
+        return load_benchmark(benchmark, scale=self.config.scale,
+                              seed=self.config.seed)
+
+    def key_budget_for(self, design: Design, benchmark: str,
+                       algorithm: str) -> int:
+        """Key budget of a cell (75 % of operations; 100 % for N_2046 + ERA)."""
+        fraction = self.config.key_budget_fraction
+        if benchmark == "N_2046" and algorithm == "era":
+            # The perfectly imbalanced design needs a dummy per operation to
+            # reach balance (Section 5, "Attack setup").
+            fraction = 1.0
+        return max(1, int(round(fraction * design.num_operations())))
+
+    def run_cell(self, design: Design, benchmark: str,
+                 algorithm: str) -> CellResult:
+        """Lock ``design`` ``n_test_lockings`` times and attack every sample."""
+        config = self.config
+        # zlib.crc32 keeps the per-cell seed stable across processes (Python's
+        # built-in hash() of strings is salted per interpreter run).
+        cell_seed = zlib.crc32(
+            f"{config.seed}/{benchmark}/{algorithm}".encode()) & 0x7FFFFFFF
+        budget = self.key_budget_for(design, benchmark, algorithm)
+        cell = CellResult(benchmark=benchmark, algorithm=algorithm,
+                          key_budget=budget,
+                          num_operations=design.num_operations())
+
+        for sample_index in range(config.n_test_lockings):
+            rng = random.Random(cell_seed + 1000 * sample_index)
+            locker = make_locker(algorithm, rng, pair_table=config.pair_table)
+            locked = locker.lock(design, key_budget=budget)
+            attack = SnapShotAttack(
+                rounds=config.relock_rounds,
+                feature_set=config.feature_set,
+                pair_table=config.pair_table,
+                time_budget=config.automl_time_budget,
+                rng=random.Random(cell_seed + 1000 * sample_index + 7),
+            )
+            cell.attacks.append(attack.attack(locked.design, algorithm=algorithm))
+        return cell

@@ -1,0 +1,91 @@
+"""Plain-text table rendering for experiment results and figure data."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned plain-text table.
+
+    Args:
+        headers: Column headers.
+        rows: Row values (converted with ``str``; floats get two decimals).
+        title: Optional title line printed above the table.
+    """
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    rendered_rows = [[render(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for column, value in enumerate(row):
+            widths[column] = max(widths[column], len(value))
+
+    def line(values: Sequence[str]) -> str:
+        return " | ".join(value.ljust(widths[i]) for i, value in enumerate(values))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("-+-".join("-" * w for w in widths))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def kpa_table_text(per_benchmark: Mapping[str, Mapping[str, float]],
+                   algorithms: Sequence[str] = ("assure", "hra", "era"),
+                   title: str = "KPA (%) per benchmark (Fig. 6a)") -> str:
+    """Render the Fig. 6a per-benchmark KPA table."""
+    headers = ["benchmark"] + [a.upper() for a in algorithms]
+    rows = []
+    for benchmark, values in per_benchmark.items():
+        rows.append([benchmark] + [values.get(a, float("nan")) for a in algorithms])
+    return format_table(headers, rows, title=title)
+
+
+def average_kpa_text(average: Mapping[str, float],
+                     paper: Optional[Mapping[str, float]] = None,
+                     title: str = "Average KPA (%) (Fig. 6b)") -> str:
+    """Render the Fig. 6b average-KPA table, optionally next to paper values."""
+    if paper:
+        headers = ["algorithm", "measured", "paper"]
+        rows = [[name.upper(), value, paper.get(name, float("nan"))]
+                for name, value in average.items()]
+    else:
+        headers = ["algorithm", "measured"]
+        rows = [[name.upper(), value] for name, value in average.items()]
+    return format_table(headers, rows, title=title)
+
+
+def trajectory_table_text(trajectories: Mapping[str, "object"],
+                          title: str = "Metric evolution (Fig. 5b)") -> str:
+    """Render key-bit cost to full security for each algorithm's trajectory."""
+    headers = ["algorithm", "points", "final M_g_sec", "final M_r_sec",
+               "bits to M_g_sec=100"]
+    rows = []
+    for name, data in trajectories.items():
+        rows.append([
+            name,
+            len(data.key_bits),
+            data.global_metric[-1] if data.global_metric else float("nan"),
+            data.restricted_metric[-1] if data.restricted_metric else float("nan"),
+            data.bits_to_full_security if data.bits_to_full_security is not None else "-",
+        ])
+    return format_table(headers, rows, title=title)
+
+
+def observation_table_text(pools: Mapping[str, "object"],
+                           title: str = "Operation-selection study (Fig. 4)") -> str:
+    """Render the Fig. 4 observation-pool summary."""
+    headers = ["scenario", "contradiction ratio", "'+' real bias",
+               "inferred accuracy", "train/test overlap"]
+    rows = []
+    for name, pool in pools.items():
+        rows.append([name, pool.contradiction_ratio(), pool.real_operator_bias("+"),
+                     pool.inferred_accuracy, pool.overlap_fraction])
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,85 @@
+"""RTL locking: ASSURE baseline, ML-resilient ERA/HRA, metrics and keys.
+
+Public entry points:
+
+* :class:`~repro.locking.assure.AssureLocker` — baseline ASSURE locking
+  (serial or random operation selection, plus branch/constant obfuscation).
+* :class:`~repro.locking.era.ERALocker` — Exact ML-Resilient Algorithm.
+* :class:`~repro.locking.hra.HRALocker` / :class:`~repro.locking.hra.GreedyLocker`
+  — Heuristic ML-Resilient Algorithm and its deterministic variant.
+* :func:`~repro.locking.metrics.global_metric` /
+  :func:`~repro.locking.metrics.restricted_metric` — the learning-resilience
+  security metrics.
+"""
+
+from .assure import AssureLocker
+from .base import LockAction, LockingError, LockingSession, OpRef
+from .era import ERALocker
+from .hra import GreedyLocker, HRALocker
+from .key import (
+    flip_bits,
+    hamming_distance,
+    int_to_key,
+    key_accuracy,
+    key_to_int,
+    key_to_string,
+    random_key,
+    string_to_key,
+)
+from .lockstep import lock_step, undo_step
+from .metrics import (
+    MetricPoint,
+    MetricTracker,
+    global_metric,
+    metric_surface,
+    modified_euclidean,
+    restricted_metric,
+    security_metric,
+)
+from .odt import OperationDistributionTable, odt_from_design
+from .pairs import (
+    ORIGINAL_ASSURE_TABLE,
+    SYMMETRIC_PAIR_TABLE,
+    PairingError,
+    PairTable,
+    default_pair_table,
+    make_symmetric,
+)
+from .result import LockResult
+
+__all__ = [
+    "AssureLocker",
+    "LockAction",
+    "LockingError",
+    "LockingSession",
+    "OpRef",
+    "ERALocker",
+    "GreedyLocker",
+    "HRALocker",
+    "flip_bits",
+    "hamming_distance",
+    "int_to_key",
+    "key_accuracy",
+    "key_to_int",
+    "key_to_string",
+    "random_key",
+    "string_to_key",
+    "lock_step",
+    "undo_step",
+    "MetricPoint",
+    "MetricTracker",
+    "global_metric",
+    "metric_surface",
+    "modified_euclidean",
+    "restricted_metric",
+    "security_metric",
+    "OperationDistributionTable",
+    "odt_from_design",
+    "ORIGINAL_ASSURE_TABLE",
+    "SYMMETRIC_PAIR_TABLE",
+    "PairingError",
+    "PairTable",
+    "default_pair_table",
+    "make_symmetric",
+    "LockResult",
+]

@@ -1,0 +1,249 @@
+"""ASSURE-style RTL locking (the baseline scheme the paper builds upon).
+
+The locker implements the three ASSURE techniques:
+
+* **operation obfuscation** — wrap a real operation and a dummy operation in a
+  key-controlled ternary (the focus of the paper and of the attacks),
+* **branch obfuscation** — XOR branch conditions with key bits,
+* **constant obfuscation** — move literals into the key.
+
+Two operation-selection strategies are supported:
+
+* ``serial`` — operations are locked in their topological dataflow order
+  (ASSURE's default; Section 3 shows this is what accidentally makes the
+  original scheme appear learning-resilient under self-referencing),
+* ``random`` — operations are selected uniformly at random (used for the
+  relocking rounds that build the attack's training set).
+
+By default the locker uses the *fixed symmetric* pair table; pass
+:data:`~repro.locking.pairs.ORIGINAL_ASSURE_TABLE` to reproduce the leaky
+pairing of Section 3.2.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..rtlir.design import Design
+from ..rtlir.opgraph import build_operation_graph
+from ..verilog import ast_nodes as ast
+from .base import LockingError, LockingSession, OpRef
+from .metrics import MetricTracker
+from .pairs import PairTable, default_pair_table
+from .result import LockResult
+
+#: Selection strategies understood by :class:`AssureLocker`.
+SELECTION_MODES = ("serial", "random")
+
+
+class AssureLocker:
+    """ASSURE operation locking with serial or random selection.
+
+    Args:
+        selection: ``serial`` or ``random``.
+        pair_table: Locking pair table (fixed symmetric table by default).
+        rng: Random source (fresh unseeded :class:`random.Random` by default).
+        track_metrics: Record the security-metric trajectory during locking.
+    """
+
+    name = "assure"
+
+    def __init__(self, selection: str = "serial",
+                 pair_table: Optional[PairTable] = None,
+                 rng: Optional[random.Random] = None,
+                 track_metrics: bool = True) -> None:
+        if selection not in SELECTION_MODES:
+            raise ValueError(f"unknown selection mode {selection!r}; "
+                             f"expected one of {SELECTION_MODES}")
+        self.selection = selection
+        self.pair_table = pair_table or default_pair_table()
+        self.rng = rng or random.Random()
+        self.track_metrics = track_metrics
+
+    # ----------------------------------------------------------------- locking
+
+    def lock(self, design: Design, key_budget: int,
+             in_place: bool = False) -> LockResult:
+        """Lock ``key_budget`` operations of ``design``.
+
+        Args:
+            design: Design to lock (already-locked designs are relocked).
+            key_budget: Number of operation-locking key bits to insert.
+            in_place: Mutate ``design`` instead of working on a copy.
+
+        Returns:
+            A :class:`~repro.locking.result.LockResult`.
+
+        Raises:
+            ValueError: for a negative key budget.
+        """
+        if key_budget < 0:
+            raise ValueError("key budget must be non-negative")
+        target = design if in_place else design.copy()
+        session = LockingSession(target, pair_table=self.pair_table, rng=self.rng)
+        tracker = MetricTracker(session.odt.vector()) if self.track_metrics else None
+
+        candidates = self._ordered_candidates(session)
+        existing_bits = len(target.key_bits)
+        bits_used = 0
+        locked = 0
+        for ref in candidates:
+            if bits_used >= key_budget:
+                break
+            if not self.pair_table.has_pair(ref.op):
+                continue
+            action = session.add_pair(ref)
+            bits_used += action.bits_used
+            locked += 1
+            if tracker is not None:
+                tracker.record(session.odt, bits_used)
+
+        new_bits = target.key_bits[existing_bits:]
+        return LockResult(
+            design=target,
+            algorithm=f"{self.name}-{self.selection}",
+            key_budget=key_budget,
+            bits_used=bits_used,
+            new_key_bits=list(new_bits),
+            tracker=tracker,
+            statistics={
+                "locked_operations": float(locked),
+                "candidate_operations": float(len(candidates)),
+            },
+        )
+
+    def relock(self, design: Design, key_budget: int,
+               in_place: bool = False) -> LockResult:
+        """Relock an already locked design (self-referencing, Fig. 2).
+
+        This is plain :meth:`lock` applied to a locked design: the candidate
+        set then contains both real and dummy operations, which is exactly
+        what the attacker exploits/contends with when building the training
+        set.
+        """
+        return self.lock(design, key_budget, in_place=in_place)
+
+    # ----------------------------------------------------- selection strategies
+
+    def _ordered_candidates(self, session: LockingSession) -> List[OpRef]:
+        refs = [ref for ref in session.all_ops()
+                if self.pair_table.has_pair(ref.op)]
+        if self.selection == "random":
+            shuffled = list(refs)
+            self.rng.shuffle(shuffled)
+            return shuffled
+        return self._serial_order(session, refs)
+
+    def _serial_order(self, session: LockingSession,
+                      refs: Sequence[OpRef]) -> List[OpRef]:
+        """Order references by the topological position of their sites."""
+        graph = build_operation_graph(session.design.top,
+                                      session.design.key_names())
+        position_by_node = {}
+        for order, site in enumerate(graph.topological_site_order()):
+            position_by_node[id(site.node)] = order
+        fallback = len(position_by_node)
+        return sorted(refs, key=lambda ref: (position_by_node.get(id(ref.node),
+                                                                  fallback),
+                                             ref.op))
+
+    # -------------------------------------------------- other ASSURE techniques
+
+    def lock_constants(self, design: Design, max_constants: int,
+                       in_place: bool = False) -> LockResult:
+        """Apply constant obfuscation to up to ``max_constants`` literals."""
+        if max_constants < 0:
+            raise ValueError("max_constants must be non-negative")
+        target = design if in_place else design.copy()
+        session = LockingSession(target, pair_table=self.pair_table, rng=self.rng)
+        existing_bits = len(target.key_bits)
+        bits_used = 0
+        locked = 0
+        for parent, constant in _lockable_constants(target):
+            if locked >= max_constants:
+                break
+            try:
+                action = session.lock_constant(parent, constant)
+            except LockingError:
+                continue
+            bits_used += action.bits_used
+            locked += 1
+        return LockResult(
+            design=target,
+            algorithm=f"{self.name}-constant",
+            key_budget=max_constants,
+            bits_used=bits_used,
+            new_key_bits=list(target.key_bits[existing_bits:]),
+            tracker=None,
+            statistics={"locked_constants": float(locked)},
+        )
+
+    def lock_branches(self, design: Design, max_branches: int,
+                      in_place: bool = False) -> LockResult:
+        """Apply branch obfuscation to up to ``max_branches`` if-conditions."""
+        if max_branches < 0:
+            raise ValueError("max_branches must be non-negative")
+        target = design if in_place else design.copy()
+        session = LockingSession(target, pair_table=self.pair_table, rng=self.rng)
+        existing_bits = len(target.key_bits)
+        bits_used = 0
+        locked = 0
+        for statement in _lockable_branches(target):
+            if locked >= max_branches:
+                break
+            action = session.lock_branch(statement)
+            bits_used += action.bits_used
+            locked += 1
+        return LockResult(
+            design=target,
+            algorithm=f"{self.name}-branch",
+            key_budget=max_branches,
+            bits_used=bits_used,
+            new_key_bits=list(target.key_bits[existing_bits:]),
+            tracker=None,
+            statistics={"locked_branches": float(locked)},
+        )
+
+
+def _lockable_constants(design: Design):
+    """Yield ``(parent, IntConst)`` pairs eligible for constant obfuscation."""
+    key_names = design.key_names()
+    for item in design.top.items:
+        if isinstance(item, ast.ContinuousAssign):
+            yield from _constants_under(item, "rhs", key_names)
+        elif isinstance(item, (ast.AlwaysBlock, ast.InitialBlock)):
+            for node in item.statement.iter_tree():
+                if isinstance(node, (ast.BlockingAssign, ast.NonBlockingAssign)):
+                    yield from _constants_under(node, "rhs", key_names)
+
+
+def _constants_under(parent: ast.Node, attr: str, key_names):
+    expr = getattr(parent, attr)
+    if isinstance(expr, ast.IntConst):
+        yield parent, expr
+        return
+    if expr is None:
+        return
+    for node, node_parent in _walk_with_parent(expr, parent):
+        if isinstance(node, ast.IntConst) and not isinstance(
+                node_parent, (ast.Range, ast.BitSelect, ast.PartSelect,
+                              ast.IndexedPartSelect, ast.Replication)):
+            yield node_parent, node
+
+
+def _walk_with_parent(node: ast.Node, parent: ast.Node):
+    yield node, parent
+    for child in node.children():
+        yield from _walk_with_parent(child, node)
+
+
+def _lockable_branches(design: Design) -> List[ast.IfStatement]:
+    """Return the if-statements of the top module eligible for branch locking."""
+    branches: List[ast.IfStatement] = []
+    for item in design.top.items:
+        if isinstance(item, (ast.AlwaysBlock, ast.InitialBlock)):
+            for node in item.statement.iter_tree():
+                if isinstance(node, ast.IfStatement):
+                    branches.append(node)
+    return branches

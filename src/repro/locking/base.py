@@ -1,0 +1,406 @@
+"""Core structural locking primitives shared by every locking algorithm.
+
+:class:`LockingSession` owns a design while it is being locked.  It keeps
+
+* an incremental registry of the operation sites present in the design
+  (including dummy operations added by earlier locking actions — these are
+  legitimate relocking targets, Fig. 3b),
+* the live :class:`~repro.locking.odt.OperationDistributionTable`,
+* the key-bit records and the key input port of the design,
+* an undo stack so heuristics can tentatively apply a lock, evaluate the
+  security metric and roll back (Algorithm 4, line 17).
+
+Three locking primitives are provided, mirroring ASSURE's three techniques:
+
+* :meth:`LockingSession.add_pair` — operation obfuscation (``AddPair`` of
+  Algorithm 1): wrap a real operation and a freshly created dummy operation in
+  a key-controlled ternary.
+* :meth:`LockingSession.lock_branch` — branch obfuscation: XOR a branch
+  condition with a key bit (inverting the condition when the bit is 1).
+* :meth:`LockingSession.lock_constant` — constant obfuscation: move a literal
+  into the key.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..rtlir.design import DEFAULT_KEY_PORT, Design, KeyBit
+from ..rtlir.operations import normalize_operator
+from ..verilog import ast_nodes as ast
+from ..verilog.transform import clone, unique_name
+from .odt import OperationDistributionTable, odt_from_design
+from .pairs import PairTable, default_pair_table
+
+
+class LockingError(RuntimeError):
+    """Raised when a locking primitive cannot be applied."""
+
+
+@dataclass
+class OpRef:
+    """A live reference to one operation node inside the design being locked.
+
+    Attributes:
+        node: The :class:`~repro.verilog.ast_nodes.BinaryOp` node.
+        op: Normalised operator string.
+        parent: Current direct parent of ``node`` (kept up to date as locking
+            wraps the node into ternaries).
+        is_dummy: True when the operation was introduced as a dummy by an
+            earlier locking action.
+        lock_count: Number of times this node has been wrapped by a locking
+            pair (> 0 means it currently sits inside a locking pair).
+    """
+
+    node: ast.BinaryOp
+    op: str
+    parent: ast.Node
+    is_dummy: bool = False
+    lock_count: int = 0
+
+
+@dataclass
+class LockAction:
+    """Undo record for one applied locking primitive."""
+
+    kind: str
+    key_bits: List[KeyBit]
+    parent: ast.Node
+    original: ast.Expression
+    replacement: ast.Expression
+    real_op: Optional[str] = None
+    dummy_op: Optional[str] = None
+    dummy_ref: Optional[OpRef] = None
+    real_ref: Optional[OpRef] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def bits_used(self) -> int:
+        """Number of key bits the action consumed."""
+        return len(self.key_bits)
+
+
+class LockingSession:
+    """Stateful locking context over one design (mutated in place).
+
+    Args:
+        design: Design to lock.  It may already be locked (relocking);
+            existing key bits are preserved and new ones are appended.
+        pair_table: Locking-pair table; defaults to the fixed symmetric table.
+        rng: Random source for key values and operation selection.
+        key_port: Name of the key input port to create (ignored when the
+            design is already locked and has one).
+    """
+
+    def __init__(self, design: Design, pair_table: Optional[PairTable] = None,
+                 rng: Optional[random.Random] = None,
+                 key_port: str = DEFAULT_KEY_PORT) -> None:
+        self.design = design
+        self.pair_table = pair_table or default_pair_table()
+        self.rng = rng or random.Random()
+        self._requested_key_port = key_port
+        self.odt: OperationDistributionTable = odt_from_design(design, self.pair_table)
+        if design.is_locked:
+            # Pairs already present in a locked design count as affected.
+            self._mark_existing_locks_affected()
+        self.actions: List[LockAction] = []
+        self._ops: List[OpRef] = []
+        self._ops_by_type: Dict[str, List[OpRef]] = {}
+        self._build_registry()
+
+    # --------------------------------------------------------------- registry
+
+    def _build_registry(self) -> None:
+        for site in self.design.sites():
+            if site.key_controlled:
+                continue
+            ref = OpRef(node=site.node, op=site.op, parent=site.parent,
+                        is_dummy=False,
+                        lock_count=1 if site.in_locked_branch else 0)
+            self._register(ref)
+
+    def _register(self, ref: OpRef) -> None:
+        self._ops.append(ref)
+        self._ops_by_type.setdefault(ref.op, []).append(ref)
+
+    def _unregister(self, ref: OpRef) -> None:
+        self._ops.remove(ref)
+        self._ops_by_type[ref.op].remove(ref)
+
+    def _mark_existing_locks_affected(self) -> None:
+        for bit in self.design.key_bits:
+            if bit.kind == "operation" and bit.real_op:
+                if self.pair_table.has_pair(bit.real_op):
+                    self.odt.mark_affected(bit.real_op)
+
+    # -------------------------------------------------------------- accessors
+
+    def ops_of_type(self, op: str) -> List[OpRef]:
+        """Return the live references to all operations of type ``op``."""
+        return list(self._ops_by_type.get(normalize_operator(op), []))
+
+    def all_ops(self) -> List[OpRef]:
+        """Return references to every operation currently in the design."""
+        return list(self._ops)
+
+    @property
+    def bits_used(self) -> int:
+        """Total key bits consumed by this session (excludes pre-existing bits)."""
+        return sum(action.bits_used for action in self.actions)
+
+    # ------------------------------------------------------------ key plumbing
+
+    def _ensure_key_port(self) -> str:
+        if self.design.key_port is None:
+            name = unique_name(self.design.top, self._requested_key_port)
+            self.design.key_port = name
+            port = ast.Port(name, direction="input", net_type="wire",
+                            width=ast.Range(ast.IntConst("0"), ast.IntConst("0")))
+            self.design.top.ports.append(port)
+        return self.design.key_port
+
+    def _update_key_port_width(self) -> None:
+        assert self.design.key_port is not None
+        port = self.design.top.find_port(self.design.key_port)
+        if port is None:
+            raise LockingError("key port disappeared from the module")
+        width = max(self.design.key_width, 1)
+        port.width = ast.Range(ast.IntConst(str(width - 1)), ast.IntConst("0"))
+
+    def _remove_key_port_if_unused(self) -> None:
+        if self.design.key_width == 0 and self.design.key_port is not None:
+            port = self.design.top.find_port(self.design.key_port)
+            if port is not None:
+                self.design.top.ports.remove(port)
+            self.design.key_port = None
+
+    def _consume_key_bit(self, kind: str, correct_value: int,
+                         real_op: Optional[str] = None,
+                         dummy_op: Optional[str] = None,
+                         metadata: Optional[Dict[str, object]] = None) -> KeyBit:
+        self._ensure_key_port()
+        bit = KeyBit(index=self.design.key_width, kind=kind,
+                     correct_value=correct_value, real_op=real_op,
+                     dummy_op=dummy_op, metadata=dict(metadata or {}))
+        self.design.key_bits.append(bit)
+        self._update_key_port_width()
+        return bit
+
+    def _release_key_bits(self, bits: Sequence[KeyBit]) -> None:
+        for bit in bits:
+            if not self.design.key_bits or self.design.key_bits[-1] is not bit:
+                # Undo must be LIFO; anything else corrupts key indices.
+                raise LockingError("undo is only supported in LIFO order")
+            self.design.key_bits.pop()
+        if self.design.key_width:
+            self._update_key_port_width()
+        else:
+            self._remove_key_port_if_unused()
+
+    def _key_bit_expr(self, index: int) -> ast.Expression:
+        assert self.design.key_port is not None
+        return ast.BitSelect(ast.Identifier(self.design.key_port),
+                             ast.IntConst(str(index)))
+
+    # ------------------------------------------------------- operation locking
+
+    def add_pair(self, ref: OpRef, dummy_op: Optional[str] = None,
+                 correct_value: Optional[int] = None) -> LockAction:
+        """Lock operation ``ref`` with a dummy operation (``AddPair`` of Alg. 1).
+
+        The real operation and a new dummy operation (same operands, operator
+        ``dummy_op``) are wrapped in a key-controlled ternary.  Which branch
+        holds the real operation is decided by the (random) correct key value,
+        following the ternary convention of Fig. 3.
+
+        Args:
+            ref: Reference to the real operation to lock.
+            dummy_op: Dummy operator; defaults to the pair partner of the real
+                operator in the session's pair table.
+            correct_value: Force the correct key-bit value (0 or 1) instead of
+                drawing it at random.  Used by tests and by the selection
+                studies of Fig. 4.
+
+        Returns:
+            The :class:`LockAction` undo record.
+
+        Raises:
+            LockingError: if the reference is stale (its parent no longer
+                contains the node).
+        """
+        real_node = ref.node
+        real_op = ref.op
+        if dummy_op is None:
+            dummy_op = self.pair_table.dummy_of(real_op)
+        dummy_op = normalize_operator(dummy_op)
+
+        dummy_node = ast.BinaryOp(dummy_op, clone(real_node.left),
+                                  clone(real_node.right))
+        key_value = self.rng.randint(0, 1) if correct_value is None else int(correct_value)
+        if key_value not in (0, 1):
+            raise LockingError("correct_value must be 0 or 1")
+
+        bit = self._consume_key_bit("operation", key_value, real_op=real_op,
+                                    dummy_op=dummy_op)
+        cond = self._key_bit_expr(bit.index)
+        if key_value == 1:
+            ternary = ast.TernaryOp(cond, real_node, dummy_node)
+        else:
+            ternary = ast.TernaryOp(cond, dummy_node, real_node)
+
+        if not ref.parent.replace_child(real_node, ternary):
+            self._release_key_bits([bit])
+            raise LockingError(
+                f"stale operation reference: parent no longer contains the "
+                f"{real_op!r} node")
+
+        # Registry bookkeeping: the real node now lives under the ternary and
+        # the dummy node becomes a selectable operation of the design.
+        old_parent = ref.parent
+        ref.parent = ternary
+        ref.lock_count += 1
+        dummy_ref = OpRef(node=dummy_node, op=dummy_op, parent=ternary,
+                          is_dummy=True, lock_count=1)
+        self._register(dummy_ref)
+
+        self.odt.add_operation(dummy_op)
+        self.odt.mark_affected(real_op)
+        self.odt.mark_affected(dummy_op)
+
+        action = LockAction(kind="operation", key_bits=[bit], parent=old_parent,
+                            original=real_node, replacement=ternary,
+                            real_op=real_op, dummy_op=dummy_op,
+                            dummy_ref=dummy_ref, real_ref=ref)
+        self.actions.append(action)
+        return action
+
+    # ---------------------------------------------------------- branch locking
+
+    def lock_branch(self, statement: ast.IfStatement,
+                    correct_value: Optional[int] = None) -> LockAction:
+        """Lock the condition of an ``if`` statement with a key bit.
+
+        With correct key value 0 the condition is simply XOR-ed with the key
+        bit; with correct key value 1 the condition is inverted first, so the
+        XOR with the key restores the original truth value (the paper's
+        ``a > b`` → ``(a <= b) ^ K`` example).
+        """
+        original = statement.cond
+        key_value = self.rng.randint(0, 1) if correct_value is None else int(correct_value)
+        bit = self._consume_key_bit("branch", key_value)
+        key_expr = self._key_bit_expr(bit.index)
+
+        if key_value == 1:
+            base = _negate_condition(clone(original))
+        else:
+            base = clone(original)
+        replacement = ast.BinaryOp("^", base, key_expr)
+        statement.cond = replacement
+
+        action = LockAction(kind="branch", key_bits=[bit], parent=statement,
+                            original=original, replacement=replacement)
+        self.actions.append(action)
+        return action
+
+    # --------------------------------------------------------- constant locking
+
+    def lock_constant(self, parent: ast.Node, constant: ast.IntConst) -> LockAction:
+        """Replace a literal with key bits (constant obfuscation).
+
+        The literal's value becomes part of the correct key: a ``w``-bit
+        constant consumes ``w`` key bits whose correct values spell the
+        constant.
+
+        Raises:
+            LockingError: if the literal contains x/z bits or the parent does
+                not contain it.
+        """
+        try:
+            value = constant.as_int()
+        except ValueError as exc:
+            raise LockingError(str(exc)) from exc
+        width = constant.width or max(value.bit_length(), 1)
+
+        bits: List[KeyBit] = []
+        for offset in range(width):
+            bit_value = (value >> offset) & 1
+            bits.append(self._consume_key_bit(
+                "constant", bit_value,
+                metadata={"constant": constant.value, "offset": offset}))
+
+        key_name = self.design.key_port
+        assert key_name is not None
+        low = bits[0].index
+        high = bits[-1].index
+        if width == 1:
+            replacement: ast.Expression = self._key_bit_expr(low)
+        else:
+            replacement = ast.PartSelect(ast.Identifier(key_name),
+                                         ast.IntConst(str(high)),
+                                         ast.IntConst(str(low)))
+        if not parent.replace_child(constant, replacement):
+            self._release_key_bits(bits)
+            raise LockingError("parent node does not contain the constant to lock")
+
+        action = LockAction(kind="constant", key_bits=bits, parent=parent,
+                            original=constant, replacement=replacement,
+                            metadata={"value": value, "width": width})
+        self.actions.append(action)
+        return action
+
+    # ------------------------------------------------------------------- undo
+
+    def undo(self, action: LockAction) -> None:
+        """Undo ``action``.  Only the most recent action can be undone."""
+        if not self.actions or self.actions[-1] is not action:
+            raise LockingError("undo is only supported in LIFO order")
+        self.actions.pop()
+
+        if action.kind == "operation":
+            if not action.parent.replace_child(action.replacement, action.original):
+                raise LockingError("failed to undo operation lock: parent changed")
+            assert action.real_ref is not None and action.dummy_ref is not None
+            action.real_ref.parent = action.parent
+            action.real_ref.lock_count -= 1
+            self._unregister(action.dummy_ref)
+            assert action.dummy_op is not None
+            self.odt.remove_operation(action.dummy_op)
+        elif action.kind == "branch":
+            statement = action.parent
+            assert isinstance(statement, ast.IfStatement)
+            statement.cond = action.original
+        elif action.kind == "constant":
+            if not action.parent.replace_child(action.replacement, action.original):
+                raise LockingError("failed to undo constant lock: parent changed")
+        else:  # pragma: no cover - defensive
+            raise LockingError(f"unknown action kind {action.kind!r}")
+
+        self._release_key_bits(action.key_bits)
+
+    def undo_last(self, count: int = 1) -> None:
+        """Undo the last ``count`` actions (most recent first)."""
+        for _ in range(count):
+            if not self.actions:
+                raise LockingError("no actions left to undo")
+            self.undo(self.actions[-1])
+
+
+def _negate_condition(cond: ast.Expression) -> ast.Expression:
+    """Return the logical negation of a condition expression.
+
+    Relational comparisons are negated by swapping the operator (``a > b`` →
+    ``a <= b``), equality by toggling ``==``/``!=``; anything else is wrapped
+    in a logical NOT.
+    """
+    negations = {
+        ">": "<=", "<=": ">",
+        "<": ">=", ">=": "<",
+        "==": "!=", "!=": "==",
+    }
+    if isinstance(cond, ast.BinaryOp) and cond.op in negations:
+        return ast.BinaryOp(negations[cond.op], cond.left, cond.right)
+    if isinstance(cond, ast.UnaryOp) and cond.op == "!":
+        return cond.operand
+    return ast.UnaryOp("!", cond)

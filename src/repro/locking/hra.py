@@ -1,0 +1,156 @@
+"""HRA: the Heuristic ML-Resilient Algorithm (Algorithm 4 of the paper).
+
+HRA performs fine-grained balancing of locking pairs under a strict key
+budget.  In every iteration it either
+
+* (with probability 1/2) picks a random pair and applies a *balanced* lock
+  step (pair mode), which injects randomness and thwarts reversal of the
+  locking procedure, or
+* evaluates a tentative lock step for every valid pair, measures the global
+  security metric ``M_g_sec`` it would achieve, undoes the trial, and then
+  commits the step with the highest metric gain (steepest ascent).
+
+Setting ``greedy=True`` removes the random branch entirely; this is the
+*Greedy* variant discussed in Section 4.4, which needs fewer key bits to
+reach full security but whose deterministic trajectory an attacker could
+reverse.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..rtlir.design import Design
+from .base import LockingSession
+from .lockstep import lock_step, undo_step
+from .metrics import MetricTracker, global_metric
+from .pairs import PairTable, default_pair_table
+from .result import LockResult
+
+
+class HRALocker:
+    """Heuristic ML-resilient locking.
+
+    Args:
+        pair_table: Locking-pair table (fixed symmetric table by default).
+        rng: Random source for the randomised decisions and key values.
+        greedy: Disable the random branch (the Greedy variant of Section 4.4).
+        track_metrics: Record the metric trajectory (Fig. 5b data).
+    """
+
+    name = "hra"
+
+    def __init__(self, pair_table: Optional[PairTable] = None,
+                 rng: Optional[random.Random] = None,
+                 greedy: bool = False,
+                 track_metrics: bool = True) -> None:
+        self.pair_table = pair_table or default_pair_table()
+        self.rng = rng or random.Random()
+        self.greedy = greedy
+        self.track_metrics = track_metrics
+
+    def lock(self, design: Design, key_budget: int,
+             in_place: bool = False) -> LockResult:
+        """Lock ``design`` within ``key_budget`` key bits (Algorithm 4).
+
+        Raises:
+            ValueError: for a negative key budget.
+        """
+        if key_budget < 0:
+            raise ValueError("key budget must be non-negative")
+        target = design if in_place else design.copy()
+        session = LockingSession(target, pair_table=self.pair_table, rng=self.rng)
+        initial_vector = session.odt.vector()
+        tracker = MetricTracker(initial_vector) if self.track_metrics else None
+
+        valid_pairs = self._valid_pairs(session)
+        existing_bits = len(target.key_bits)
+        bits_used = 0
+        iterations = 0
+        random_steps = 0
+
+        while bits_used < key_budget and valid_pairs:
+            iterations += 1
+            pair_mode = (not self.greedy) and bool(self.rng.randint(0, 1))
+            if pair_mode:
+                random_steps += 1
+                selected = self.rng.randrange(len(valid_pairs))
+            else:
+                selected = self._best_pair_index(session, valid_pairs,
+                                                 initial_vector)
+
+            lock_type = valid_pairs[selected][0]
+            bits, _actions = lock_step(session, lock_type, pair_mode=pair_mode)
+            if bits == 0 and pair_mode:
+                # The balanced double-lock needs operations of both types; on
+                # a one-sided pair fall back to the ordinary balancing step.
+                bits, _actions = lock_step(session, lock_type, pair_mode=False)
+            if bits == 0:
+                # The selected pair has no operations to attach dummies to;
+                # drop it from the valid set and continue.
+                valid_pairs = [p for i, p in enumerate(valid_pairs) if i != selected]
+                continue
+            bits_used += bits
+            if tracker is not None:
+                tracker.record(session.odt, bits_used)
+
+        new_bits = target.key_bits[existing_bits:]
+        algorithm = "greedy" if self.greedy else self.name
+        return LockResult(
+            design=target,
+            algorithm=algorithm,
+            key_budget=key_budget,
+            bits_used=bits_used,
+            new_key_bits=list(new_bits),
+            tracker=tracker,
+            statistics={
+                "iterations": float(iterations),
+                "random_steps": float(random_steps),
+            },
+        )
+
+    # ------------------------------------------------------------- internals
+
+    def _valid_pairs(self, session: LockingSession) -> List[Tuple[str, str]]:
+        pairs = []
+        for first, second in self.pair_table.unordered_pairs():
+            if session.ops_of_type(first) or session.ops_of_type(second):
+                pairs.append((first, second))
+        return pairs
+
+    def _best_pair_index(self, session: LockingSession,
+                         valid_pairs: List[Tuple[str, str]],
+                         initial_vector) -> int:
+        """Trial-lock every pair and return the index with the best ``M_g_sec``.
+
+        Implements lines 12-22 of Algorithm 4: each candidate step is applied,
+        evaluated with the (monotonic) global metric and undone again.
+        """
+        order = list(range(len(valid_pairs)))
+        self.rng.shuffle(order)
+        best_metric = -1.0
+        best_index = order[0]
+        for index in order:
+            lock_type = valid_pairs[index][0]
+            bits, actions = lock_step(session, lock_type, pair_mode=False)
+            if bits == 0:
+                continue
+            metric = global_metric(session.odt, initial_vector)
+            undo_step(session, actions)
+            if metric > best_metric:
+                best_metric = metric
+                best_index = index
+        return best_index
+
+
+class GreedyLocker(HRALocker):
+    """The deterministic Greedy variant of HRA (``P`` always false)."""
+
+    name = "greedy"
+
+    def __init__(self, pair_table: Optional[PairTable] = None,
+                 rng: Optional[random.Random] = None,
+                 track_metrics: bool = True) -> None:
+        super().__init__(pair_table=pair_table, rng=rng, greedy=True,
+                         track_metrics=track_metrics)

@@ -1,0 +1,180 @@
+"""Learning-resilience security metrics (Section 4.1 of the paper).
+
+The metrics measure how far a (partially) locked design is from the optimal,
+fully balanced operation distribution:
+
+``M_sec = 100 * (1 - d_e(v_j, v_o) / d_e(v_i, v_o))``
+
+where ``v_i`` is the distribution vector of the initial design, ``v_j`` the
+vector after the j-th locking iteration, ``v_o`` the optimal (all-zero)
+vector and ``d_e`` the *modified* Euclidean distance of Algorithm 2, which
+skips entries marked ``'x'`` (encoded as NaN here).
+
+Two variants exist:
+
+* the **global** metric ``M_g_sec`` considers every pair and is monotonic —
+  it measures the *potential* for exploitation;
+* the **restricted** metric ``M_r_sec`` considers only pairs affected by
+  locking — it measures the *actual* exploitability and is not monotonic
+  because the affected set grows during locking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .odt import OperationDistributionTable
+
+
+def modified_euclidean(current: Sequence[float],
+                       optimal: Sequence[float]) -> float:
+    """Modified Euclidean distance of Algorithm 2.
+
+    Entries whose *optimal* value is NaN (the paper's ``'x'`` marker) are
+    excluded from the sum.
+
+    Raises:
+        ValueError: if the vectors have different lengths.
+    """
+    current_arr = np.asarray(current, dtype=float)
+    optimal_arr = np.asarray(optimal, dtype=float)
+    if current_arr.shape != optimal_arr.shape:
+        raise ValueError("current and optimal vectors must have the same length")
+    mask = ~np.isnan(optimal_arr)
+    if not mask.any():
+        return 0.0
+    deltas = optimal_arr[mask] - current_arr[mask]
+    return float(np.sqrt(np.sum(deltas ** 2)))
+
+
+def security_metric(initial: Sequence[float], current: Sequence[float],
+                    optimal: Optional[Sequence[float]] = None) -> float:
+    """Evaluate ``M_sec`` (Equation 1).
+
+    Args:
+        initial: ``v_i`` — distribution vector of the initial design.
+        current: ``v_j`` — distribution vector after the current iteration.
+        optimal: ``v_o`` — optimal vector; all zeros when omitted.  NaN
+            entries mark pairs excluded from the computation.
+
+    Returns:
+        The metric value in ``[0, 100]``.  A design that is already optimal
+        (``d_e(v_i, v_o) == 0``) scores 100 by definition.
+    """
+    initial_arr = np.asarray(initial, dtype=float)
+    if optimal is None:
+        optimal_arr = np.zeros_like(initial_arr)
+    else:
+        optimal_arr = np.asarray(optimal, dtype=float)
+    denominator = modified_euclidean(initial_arr, optimal_arr)
+    if denominator == 0.0:
+        return 100.0
+    numerator = modified_euclidean(current, optimal_arr)
+    value = 100.0 * (1.0 - numerator / denominator)
+    return float(np.clip(value, 0.0, 100.0))
+
+
+def global_metric(odt: OperationDistributionTable,
+                  initial: Sequence[float]) -> float:
+    """``M_g_sec``: the metric over *all* pairs of the table."""
+    pair_order = odt.pairs()
+    current = odt.vector(pair_order)
+    optimal = odt.optimal_vector(restricted=False, pair_order=pair_order)
+    return security_metric(initial, current, optimal)
+
+
+def restricted_metric(odt: OperationDistributionTable,
+                      initial: Sequence[float]) -> float:
+    """``M_r_sec``: the metric over the pairs affected by locking only.
+
+    When no pair has been affected yet the design exposes nothing to a
+    learning attack, so the metric is 100 by definition.
+    """
+    pair_order = odt.pairs()
+    if not odt.affected_pairs():
+        return 100.0
+    current = odt.vector(pair_order)
+    optimal = odt.optimal_vector(restricted=True, pair_order=pair_order)
+    return security_metric(initial, current, optimal)
+
+
+@dataclass
+class MetricPoint:
+    """One sample of the metric trajectory during locking."""
+
+    key_bits: int
+    global_value: float
+    restricted_value: float
+
+
+@dataclass
+class MetricTracker:
+    """Records the metric evolution of a locking run (data behind Fig. 5b).
+
+    Args:
+        initial: The initial distribution vector ``v_i`` of the design.
+    """
+
+    initial: np.ndarray
+    points: List[MetricPoint] = field(default_factory=list)
+
+    def record(self, odt: OperationDistributionTable, key_bits: int) -> MetricPoint:
+        """Evaluate both metrics on ``odt`` and append a trajectory point."""
+        point = MetricPoint(
+            key_bits=key_bits,
+            global_value=global_metric(odt, self.initial),
+            restricted_value=restricted_metric(odt, self.initial),
+        )
+        self.points.append(point)
+        return point
+
+    def as_series(self) -> Tuple[List[int], List[float], List[float]]:
+        """Return ``(key_bits, M_g_sec, M_r_sec)`` series for plotting."""
+        return (
+            [p.key_bits for p in self.points],
+            [p.global_value for p in self.points],
+            [p.restricted_value for p in self.points],
+        )
+
+    @property
+    def final_global(self) -> float:
+        """Final ``M_g_sec`` value (100.0 when no point was recorded)."""
+        return self.points[-1].global_value if self.points else 100.0
+
+    @property
+    def final_restricted(self) -> float:
+        """Final ``M_r_sec`` value (100.0 when no point was recorded)."""
+        return self.points[-1].restricted_value if self.points else 100.0
+
+
+def metric_surface(imbalances: Sequence[int],
+                   steps: Optional[Sequence[int]] = None) -> np.ndarray:
+    """Compute the ``M_g_sec`` surface over a grid of balancing steps.
+
+    This reproduces the search-space view of Fig. 5a for a design with the
+    given initial pair imbalances (e.g. ``[25, 10]``).  Entry ``[i, j]`` of
+    the returned array is the metric after removing ``i`` units of imbalance
+    from the first pair and ``j`` from the second (clamped at zero).
+
+    Args:
+        imbalances: Initial absolute imbalance of each pair (the paper uses
+            two pairs; any number is supported).
+        steps: Grid extent per axis; defaults to ``imbalance + 1`` per pair.
+
+    Returns:
+        An ndarray of shape ``tuple(s for s in steps)``.
+    """
+    initial = np.array([abs(v) for v in imbalances], dtype=float)
+    if steps is None:
+        steps = [int(v) + 1 for v in initial]
+    if len(steps) != len(initial):
+        raise ValueError("steps must have one extent per imbalance entry")
+    shape = tuple(int(s) for s in steps)
+    surface = np.zeros(shape, dtype=float)
+    for index in np.ndindex(shape):
+        current = np.maximum(initial - np.array(index, dtype=float), 0.0)
+        surface[index] = security_metric(initial, current)
+    return surface

@@ -1,0 +1,70 @@
+"""From-scratch ML substrate (the auto-sklearn substitute of the paper).
+
+Classifiers follow a scikit-learn-like ``fit``/``predict``/``predict_proba``
+interface (:class:`~repro.ml.base.Estimator`), and
+:class:`~repro.ml.automl.AutoMLClassifier` performs budgeted model selection
+over them — this is the model the RTL SnapShot attack trains on the extracted
+localities.
+"""
+
+from .automl import AutoMLClassifier, CandidateResult, CandidateSpec, default_candidates
+from .base import (
+    Estimator,
+    NotFittedError,
+    check_features,
+    check_features_labels,
+    encode_labels,
+    one_hot,
+    sigmoid,
+    softmax,
+)
+from .boosting import AdaBoostClassifier
+from .forest import RandomForestClassifier
+from .knn import KNeighborsClassifier
+from .logistic import LogisticRegression
+from .metrics import (
+    accuracy,
+    balanced_accuracy,
+    confusion_matrix,
+    log_loss,
+    precision_recall_f1,
+)
+from .mlp import MLPClassifier
+from .naive_bayes import CategoricalNB, GaussianNB
+from .preprocessing import MinMaxScaler, OneHotEncoder, StandardScaler
+from .tree import DecisionTreeClassifier
+from .validation import KFold, cross_val_score, train_test_split
+
+__all__ = [
+    "AutoMLClassifier",
+    "CandidateResult",
+    "CandidateSpec",
+    "default_candidates",
+    "Estimator",
+    "NotFittedError",
+    "check_features",
+    "check_features_labels",
+    "encode_labels",
+    "one_hot",
+    "sigmoid",
+    "softmax",
+    "AdaBoostClassifier",
+    "RandomForestClassifier",
+    "KNeighborsClassifier",
+    "LogisticRegression",
+    "accuracy",
+    "balanced_accuracy",
+    "confusion_matrix",
+    "log_loss",
+    "precision_recall_f1",
+    "MLPClassifier",
+    "CategoricalNB",
+    "GaussianNB",
+    "MinMaxScaler",
+    "OneHotEncoder",
+    "StandardScaler",
+    "DecisionTreeClassifier",
+    "KFold",
+    "cross_val_score",
+    "train_test_split",
+]

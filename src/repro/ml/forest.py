@@ -1,0 +1,80 @@
+"""Random forest: bagged decision trees with per-split feature subsampling."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .base import Estimator, check_features, check_features_labels, encode_labels
+from .tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier(Estimator):
+    """Bootstrap-aggregated decision trees.
+
+    Args:
+        n_estimators: Number of trees.
+        max_depth: Depth limit for each tree.
+        min_samples_leaf: Minimum samples per leaf in each tree.
+        max_features: Features considered per split (default ``"sqrt"``).
+        bootstrap: Sample the training set with replacement for each tree.
+        random_state: Seed for bootstrapping and per-tree feature sampling.
+    """
+
+    def __init__(self, n_estimators: int = 50, max_depth: Optional[int] = None,
+                 min_samples_leaf: int = 1, max_features="sqrt",
+                 bootstrap: bool = True,
+                 random_state: Optional[int] = None) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be positive")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+
+    def fit(self, features, labels) -> "RandomForestClassifier":
+        """Fit every tree on its own bootstrap sample."""
+        matrix, label_arr = check_features_labels(features, labels)
+        self.classes_, encoded = encode_labels(label_arr)
+        self.n_features_ = matrix.shape[1]
+        rng = np.random.default_rng(self.random_state)
+        n_samples = matrix.shape[0]
+
+        self.estimators_: List[DecisionTreeClassifier] = []
+        for _ in range(self.n_estimators):
+            if self.bootstrap:
+                indices = rng.integers(0, n_samples, size=n_samples)
+            else:
+                indices = np.arange(n_samples)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                random_state=int(rng.integers(0, 2 ** 31 - 1)),
+            )
+            tree.fit(matrix[indices], encoded[indices])
+            self.estimators_.append(tree)
+
+        importances = np.zeros(self.n_features_)
+        for tree in self.estimators_:
+            importances += tree.feature_importances_
+        total = importances.sum()
+        self.feature_importances_ = importances / total if total > 0 else importances
+        return self
+
+    def predict_proba(self, features) -> np.ndarray:
+        """Average the class probabilities of all trees."""
+        self._check_fitted("estimators_")
+        matrix = check_features(features, n_features=self.n_features_)
+        # Trees were fitted on integer-encoded labels 0..n_classes-1; their
+        # classes_ may omit codes absent from a bootstrap sample, so align.
+        n_classes = len(self.classes_)
+        aggregate = np.zeros((matrix.shape[0], n_classes))
+        for tree in self.estimators_:
+            probabilities = tree.predict_proba(matrix)
+            for column, code in enumerate(tree.classes_):
+                aggregate[:, int(code)] += probabilities[:, column]
+        return aggregate / len(self.estimators_)

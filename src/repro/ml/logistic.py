@@ -1,0 +1,73 @@
+"""Multinomial logistic regression trained by full-batch gradient descent."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import (
+    Estimator,
+    check_features,
+    check_features_labels,
+    encode_labels,
+    one_hot,
+    softmax,
+)
+
+
+class LogisticRegression(Estimator):
+    """L2-regularised multinomial logistic regression.
+
+    Args:
+        learning_rate: Gradient-descent step size.
+        n_iterations: Number of full-batch updates.
+        l2: L2 regularisation strength (0 disables regularisation).
+        fit_intercept: Learn a bias term.
+        tol: Early-stopping tolerance on the gradient norm.
+        random_state: Seed for the (tiny) random weight initialisation.
+    """
+
+    def __init__(self, learning_rate: float = 0.1, n_iterations: int = 500,
+                 l2: float = 1e-3, fit_intercept: bool = True,
+                 tol: float = 1e-6, random_state: Optional[int] = None) -> None:
+        self.learning_rate = learning_rate
+        self.n_iterations = n_iterations
+        self.l2 = l2
+        self.fit_intercept = fit_intercept
+        self.tol = tol
+        self.random_state = random_state
+
+    def fit(self, features, labels) -> "LogisticRegression":
+        """Fit the model with gradient descent on the cross-entropy loss."""
+        matrix, label_arr = check_features_labels(features, labels)
+        self.classes_, encoded = encode_labels(label_arr)
+        n_classes = len(self.classes_)
+        targets = one_hot(encoded, n_classes)
+
+        if self.fit_intercept:
+            matrix = np.hstack([matrix, np.ones((matrix.shape[0], 1))])
+        n_samples, n_features = matrix.shape
+
+        rng = np.random.default_rng(self.random_state)
+        weights = rng.normal(scale=0.01, size=(n_features, n_classes))
+
+        for _ in range(self.n_iterations):
+            probabilities = softmax(matrix @ weights)
+            gradient = matrix.T @ (probabilities - targets) / n_samples
+            gradient += self.l2 * weights
+            weights -= self.learning_rate * gradient
+            if np.linalg.norm(gradient) < self.tol:
+                break
+
+        self.weights_ = weights
+        self.n_features_ = n_features - (1 if self.fit_intercept else 0)
+        return self
+
+    def predict_proba(self, features) -> np.ndarray:
+        """Return class probabilities."""
+        self._check_fitted("weights_")
+        matrix = check_features(features, n_features=self.n_features_)
+        if self.fit_intercept:
+            matrix = np.hstack([matrix, np.ones((matrix.shape[0], 1))])
+        return softmax(matrix @ self.weights_)

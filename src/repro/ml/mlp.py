@@ -1,0 +1,128 @@
+"""A small multi-layer perceptron classifier trained with Adam.
+
+This mirrors the "multi-layer perceptron" branch that the SnapShot paper's
+neural attack uses, scaled down to the tiny locality feature space of the RTL
+adaptation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .base import (
+    Estimator,
+    check_features,
+    check_features_labels,
+    encode_labels,
+    one_hot,
+    softmax,
+)
+
+
+class MLPClassifier(Estimator):
+    """Fully connected network with ReLU hidden layers and softmax output.
+
+    Args:
+        hidden_layers: Sizes of the hidden layers.
+        learning_rate: Adam step size.
+        n_epochs: Training epochs over the full data set.
+        batch_size: Mini-batch size (capped at the data set size).
+        l2: L2 weight decay.
+        random_state: Seed for initialisation and batch shuffling.
+    """
+
+    def __init__(self, hidden_layers: Sequence[int] = (32, 16),
+                 learning_rate: float = 0.01, n_epochs: int = 200,
+                 batch_size: int = 32, l2: float = 1e-4,
+                 random_state: Optional[int] = None) -> None:
+        self.hidden_layers = tuple(hidden_layers)
+        self.learning_rate = learning_rate
+        self.n_epochs = n_epochs
+        self.batch_size = batch_size
+        self.l2 = l2
+        self.random_state = random_state
+
+    # ---------------------------------------------------------------- fitting
+
+    def fit(self, features, labels) -> "MLPClassifier":
+        """Train the network with Adam on the cross-entropy loss."""
+        matrix, label_arr = check_features_labels(features, labels)
+        self.classes_, encoded = encode_labels(label_arr)
+        n_classes = len(self.classes_)
+        targets = one_hot(encoded, n_classes)
+        self.n_features_ = matrix.shape[1]
+
+        rng = np.random.default_rng(self.random_state)
+        layer_sizes = [self.n_features_, *self.hidden_layers, n_classes]
+        self._weights: List[np.ndarray] = []
+        self._biases: List[np.ndarray] = []
+        for fan_in, fan_out in zip(layer_sizes[:-1], layer_sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            self._weights.append(rng.normal(scale=scale, size=(fan_in, fan_out)))
+            self._biases.append(np.zeros(fan_out))
+
+        first_moment = [np.zeros_like(w) for w in self._weights]
+        second_moment = [np.zeros_like(w) for w in self._weights]
+        first_moment_b = [np.zeros_like(b) for b in self._biases]
+        second_moment_b = [np.zeros_like(b) for b in self._biases]
+        beta1, beta2, epsilon = 0.9, 0.999, 1e-8
+        step = 0
+
+        n_samples = matrix.shape[0]
+        batch_size = min(self.batch_size, n_samples)
+
+        for _ in range(self.n_epochs):
+            order = rng.permutation(n_samples)
+            for start in range(0, n_samples, batch_size):
+                batch = order[start:start + batch_size]
+                grads_w, grads_b = self._gradients(matrix[batch], targets[batch])
+                step += 1
+                for layer, (grad_w, grad_b) in enumerate(zip(grads_w, grads_b)):
+                    grad_w = grad_w + self.l2 * self._weights[layer]
+                    first_moment[layer] = beta1 * first_moment[layer] + (1 - beta1) * grad_w
+                    second_moment[layer] = beta2 * second_moment[layer] + (1 - beta2) * grad_w ** 2
+                    m_hat = first_moment[layer] / (1 - beta1 ** step)
+                    v_hat = second_moment[layer] / (1 - beta2 ** step)
+                    self._weights[layer] -= self.learning_rate * m_hat / (np.sqrt(v_hat) + epsilon)
+
+                    first_moment_b[layer] = beta1 * first_moment_b[layer] + (1 - beta1) * grad_b
+                    second_moment_b[layer] = beta2 * second_moment_b[layer] + (1 - beta2) * grad_b ** 2
+                    mb_hat = first_moment_b[layer] / (1 - beta1 ** step)
+                    vb_hat = second_moment_b[layer] / (1 - beta2 ** step)
+                    self._biases[layer] -= self.learning_rate * mb_hat / (np.sqrt(vb_hat) + epsilon)
+        return self
+
+    def _forward(self, matrix: np.ndarray) -> Tuple[List[np.ndarray], np.ndarray]:
+        activations = [matrix]
+        hidden = matrix
+        for layer in range(len(self._weights) - 1):
+            hidden = np.maximum(hidden @ self._weights[layer] + self._biases[layer], 0.0)
+            activations.append(hidden)
+        logits = hidden @ self._weights[-1] + self._biases[-1]
+        return activations, softmax(logits)
+
+    def _gradients(self, matrix: np.ndarray, targets: np.ndarray):
+        activations, probabilities = self._forward(matrix)
+        n_samples = matrix.shape[0]
+        delta = (probabilities - targets) / n_samples
+
+        grads_w: List[np.ndarray] = [np.zeros_like(w) for w in self._weights]
+        grads_b: List[np.ndarray] = [np.zeros_like(b) for b in self._biases]
+        for layer in range(len(self._weights) - 1, -1, -1):
+            grads_w[layer] = activations[layer].T @ delta
+            grads_b[layer] = delta.sum(axis=0)
+            if layer > 0:
+                delta = delta @ self._weights[layer].T
+                delta = delta * (activations[layer] > 0)
+        return grads_w, grads_b
+
+    # ------------------------------------------------------------- prediction
+
+    def predict_proba(self, features) -> np.ndarray:
+        """Return softmax class probabilities."""
+        self._check_fitted("_weights")
+        matrix = check_features(features, n_features=self.n_features_)
+        _, probabilities = self._forward(matrix)
+        return probabilities

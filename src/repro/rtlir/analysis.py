@@ -1,0 +1,144 @@
+"""Design-level analyses and reports.
+
+The functions here aggregate the lower-level site and graph primitives into
+the quantities the paper reasons about:
+
+* operation census and imbalance per locking pair (input to the ODT),
+* structural statistics of the dataflow,
+* a printable design report used by the examples and the evaluation harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .design import Design
+from .opgraph import build_operation_graph
+from .operations import operator_class
+from .sites import collect_sites
+
+
+@dataclass(frozen=True)
+class PairImbalance:
+    """Imbalance of one unordered locking pair within a design.
+
+    Attributes:
+        first: First operator of the pair.
+        second: Second operator of the pair.
+        count_first: Occurrences of ``first``.
+        count_second: Occurrences of ``second``.
+    """
+
+    first: str
+    second: str
+    count_first: int
+    count_second: int
+
+    @property
+    def imbalance(self) -> int:
+        """Signed imbalance ``count_first - count_second`` (ODT entry of first)."""
+        return self.count_first - self.count_second
+
+    @property
+    def total(self) -> int:
+        """Total operations of either type."""
+        return self.count_first + self.count_second
+
+    @property
+    def is_balanced(self) -> bool:
+        """True when both operators occur equally often."""
+        return self.count_first == self.count_second
+
+
+@dataclass
+class DesignReport:
+    """Aggregated structural view of a design."""
+
+    name: str
+    num_operations: int
+    census: Dict[str, int]
+    class_census: Dict[str, int]
+    pair_imbalances: List[PairImbalance]
+    graph_statistics: Dict[str, float]
+    key_width: int
+
+    def to_text(self) -> str:
+        """Render the report as a human-readable multi-line string."""
+        lines = [
+            f"Design report: {self.name}",
+            f"  lockable operations : {self.num_operations}",
+            f"  key width           : {self.key_width}",
+            "  operation census:",
+        ]
+        for op, count in sorted(self.census.items(), key=lambda kv: -kv[1]):
+            lines.append(f"    {op:>3} : {count}")
+        lines.append("  class census:")
+        for cls, count in sorted(self.class_census.items(), key=lambda kv: -kv[1]):
+            lines.append(f"    {cls:>10} : {count}")
+        lines.append("  pair imbalances:")
+        for pair in self.pair_imbalances:
+            marker = "balanced" if pair.is_balanced else f"imbalance {pair.imbalance:+d}"
+            lines.append(
+                f"    ({pair.first}, {pair.second}) : "
+                f"{pair.count_first} vs {pair.count_second} ({marker})"
+            )
+        lines.append("  dataflow statistics:")
+        for key, value in self.graph_statistics.items():
+            lines.append(f"    {key:>15} : {value:.2f}")
+        return "\n".join(lines)
+
+
+def pair_imbalances(census: Mapping[str, int],
+                    pairs: List[Tuple[str, str]]) -> List[PairImbalance]:
+    """Compute the imbalance of each unordered locking pair from a census."""
+    result: List[PairImbalance] = []
+    for first, second in pairs:
+        result.append(
+            PairImbalance(
+                first=first,
+                second=second,
+                count_first=census.get(first, 0),
+                count_second=census.get(second, 0),
+            )
+        )
+    return result
+
+
+def class_census(census: Mapping[str, int]) -> Dict[str, int]:
+    """Aggregate an operator census into operator classes."""
+    result: Dict[str, int] = {}
+    for op, count in census.items():
+        try:
+            cls = operator_class(op)
+        except KeyError:
+            cls = "other"
+        result[cls] = result.get(cls, 0) + count
+    return result
+
+
+def analyze_design(design: Design,
+                   pairs: Optional[List[Tuple[str, str]]] = None) -> DesignReport:
+    """Build a :class:`DesignReport` for ``design``.
+
+    Args:
+        design: Design to analyse.
+        pairs: Unordered locking pairs to report imbalance for.  Defaults to
+            the symmetric pair table of :mod:`repro.locking.pairs` (imported
+            lazily to avoid a package cycle).
+    """
+    if pairs is None:
+        from ..locking.pairs import SYMMETRIC_PAIR_TABLE
+        pairs = SYMMETRIC_PAIR_TABLE.unordered_pairs()
+    sites = collect_sites(design.top, design.key_names())
+    census = sites.count_by_operator()
+    graph = build_operation_graph(design.top, design.key_names(), sites=sites)
+    return DesignReport(
+        name=design.name,
+        num_operations=len(sites),
+        census=dict(census),
+        class_census=class_census(census),
+        pair_imbalances=pair_imbalances(census, pairs),
+        graph_statistics=graph.statistics(),
+        key_width=design.key_width,
+    )

@@ -1,0 +1,169 @@
+"""Design wrapper: a parsed RTL design plus its locking state.
+
+:class:`Design` is the object the locking algorithms and attacks exchange.  It
+bundles
+
+* the Verilog AST (:class:`~repro.verilog.ast_nodes.Source`),
+* the name of the top module under protection,
+* the key input port and the per-bit key records (:class:`KeyBit`),
+
+and offers parsing/serialisation round trips, deep copies, and convenience
+accessors for operation sites.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..verilog import ast_nodes as ast
+from ..verilog.codegen import generate
+from ..verilog.parser import parse
+from .sites import SiteCollection, collect_sites
+
+#: Default name of the key input port added by the locking engine.
+DEFAULT_KEY_PORT = "lock_key"
+
+
+@dataclass
+class KeyBit:
+    """Record of a single key bit introduced by locking.
+
+    Attributes:
+        index: Bit position within the key port.
+        kind: ``operation``, ``branch`` or ``constant``.
+        correct_value: The key-bit value that restores original functionality.
+        real_op: For operation locking, the operator of the real operation.
+        dummy_op: For operation locking, the operator of the dummy operation.
+        metadata: Free-form extra information (e.g. the constant value that a
+            constant-obfuscation bit hides, or the locking round).
+    """
+
+    index: int
+    kind: str
+    correct_value: int
+    real_op: Optional[str] = None
+    dummy_op: Optional[str] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("operation", "branch", "constant"):
+            raise ValueError(f"invalid key bit kind {self.kind!r}")
+        if self.correct_value not in (0, 1):
+            raise ValueError("correct_value must be 0 or 1")
+
+
+class Design:
+    """A (possibly locked) RTL design under a single top module.
+
+    Args:
+        source: Parsed source tree.
+        top_name: Name of the module under protection; defaults to the first
+            module in the source.
+        key_port: Name of the key input port; ``None`` for an unlocked design.
+        key_bits: Existing key records (used when re-wrapping a locked design).
+    """
+
+    def __init__(self, source: ast.Source, top_name: Optional[str] = None,
+                 key_port: Optional[str] = None,
+                 key_bits: Optional[Sequence[KeyBit]] = None,
+                 name: Optional[str] = None) -> None:
+        if not source.modules:
+            raise ValueError("design source contains no modules")
+        self.source = source
+        self.top_name = top_name or source.modules[0].name
+        if source.find_module(self.top_name) is None:
+            raise ValueError(f"top module {self.top_name!r} not found in source")
+        self.key_port = key_port
+        self.key_bits: List[KeyBit] = list(key_bits or [])
+        self.name = name or self.top_name
+
+    # ------------------------------------------------------------ construction
+
+    @classmethod
+    def from_verilog(cls, text: str, top_name: Optional[str] = None,
+                     name: Optional[str] = None) -> "Design":
+        """Parse Verilog source text into an (unlocked) design."""
+        return cls(parse(text), top_name=top_name, name=name)
+
+    @classmethod
+    def from_file(cls, path: Path, top_name: Optional[str] = None) -> "Design":
+        """Read and parse a Verilog file."""
+        path = Path(path)
+        return cls.from_verilog(path.read_text(), top_name=top_name, name=path.stem)
+
+    # -------------------------------------------------------------- accessors
+
+    @property
+    def top(self) -> ast.Module:
+        """The module under protection."""
+        module = self.source.find_module(self.top_name)
+        assert module is not None  # validated in __init__
+        return module
+
+    @property
+    def is_locked(self) -> bool:
+        """True once at least one key bit has been introduced."""
+        return bool(self.key_bits)
+
+    @property
+    def key_width(self) -> int:
+        """Number of key bits currently used."""
+        return len(self.key_bits)
+
+    @property
+    def correct_key(self) -> List[int]:
+        """The correct key as a list of bits indexed by key-bit position."""
+        key = [0] * self.key_width
+        for bit in self.key_bits:
+            key[bit.index] = bit.correct_value
+        return key
+
+    def correct_key_string(self) -> str:
+        """The correct key as a bit string, MSB (highest index) first."""
+        return "".join(str(b) for b in reversed(self.correct_key))
+
+    def key_names(self) -> Set[str]:
+        """Names of key signals present in the design (empty when unlocked)."""
+        return {self.key_port} if self.key_port else set()
+
+    def key_bit(self, index: int) -> KeyBit:
+        """Return the key record at ``index``.
+
+        Raises:
+            KeyError: if no key bit with that index exists.
+        """
+        for bit in self.key_bits:
+            if bit.index == index:
+                return bit
+        raise KeyError(f"no key bit with index {index}")
+
+    # --------------------------------------------------------------- analysis
+
+    def sites(self, module: Optional[ast.Module] = None) -> SiteCollection:
+        """Collect lockable operation sites of the top (or a given) module."""
+        return collect_sites(module or self.top, self.key_names())
+
+    def operation_census(self) -> Dict[str, int]:
+        """Return ``{operator: count}`` over the top module's lockable sites."""
+        return self.sites().count_by_operator()
+
+    def num_operations(self) -> int:
+        """Total number of lockable operation sites in the top module."""
+        return len(self.sites())
+
+    # ------------------------------------------------------------- conversion
+
+    def to_verilog(self) -> str:
+        """Render the current AST back to Verilog source text."""
+        return generate(self.source)
+
+    def copy(self) -> "Design":
+        """Return an independent deep copy (AST and key records)."""
+        return copy.deepcopy(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Design(name={self.name!r}, top={self.top_name!r}, "
+                f"key_width={self.key_width})")

@@ -1,0 +1,24 @@
+"""Combinational RTL simulation: functional checks for locked designs.
+
+Used to validate the locking contract — with the correct key the locked
+design is functionally equivalent to the original, with a wrong key the
+outputs are corrupted.
+"""
+
+from .evaluator import ExpressionEvaluator, SimulationError, mask
+from .simulator import (
+    CombinationalSimulator,
+    EquivalenceReport,
+    check_equivalence,
+    output_corruption,
+)
+
+__all__ = [
+    "ExpressionEvaluator",
+    "SimulationError",
+    "mask",
+    "CombinationalSimulator",
+    "EquivalenceReport",
+    "check_equivalence",
+    "output_corruption",
+]

@@ -1,0 +1,261 @@
+"""Combinational simulation of (locked) RTL designs.
+
+:class:`CombinationalSimulator` evaluates the continuous-assignment part of a
+module (wire initialisers and ``assign`` statements) for concrete input
+values, in dependency order.  It covers exactly the structures the synthetic
+benchmarks and the operation-locking transformations produce, and is used to
+validate the functional contract of locking:
+
+* with the **correct key** the locked design computes the original function,
+* with a **wrong key** the outputs (generally) differ — the output-corruption
+  property that makes locking useful in the first place.
+
+Sequential logic (always blocks) is outside this simulator's scope; designs
+containing always blocks can still be simulated for their combinational
+outputs, the registered outputs are simply not reported.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..rtlir.design import Design
+from ..verilog import ast_nodes as ast
+from .evaluator import ExpressionEvaluator, SimulationError, mask
+
+
+@dataclass
+class EquivalenceReport:
+    """Result of comparing two designs over random input vectors."""
+
+    vectors: int
+    mismatches: int
+    first_mismatch: Optional[Dict[str, object]] = None
+
+    @property
+    def equivalent(self) -> bool:
+        """True when no output differed on any tested vector."""
+        return self.mismatches == 0
+
+    @property
+    def corruption_rate(self) -> float:
+        """Fraction of vectors with at least one differing output."""
+        return self.mismatches / self.vectors if self.vectors else 0.0
+
+
+class CombinationalSimulator:
+    """Evaluate the combinational outputs of a design.
+
+    Args:
+        design: The design to simulate (locked or not).
+
+    Raises:
+        SimulationError: if the combinational assignments contain a
+            dependency cycle.
+    """
+
+    def __init__(self, design: Design) -> None:
+        self.design = design
+        module = design.top
+        self._widths = _declared_widths(module)
+        self._evaluator = ExpressionEvaluator(self._widths)
+        self._inputs = [port.name for port in module.ports
+                        if port.direction == "input"]
+        self._outputs = [port.name for port in module.ports
+                         if port.direction == "output"]
+        self._assignments = _ordered_assignments(module)
+
+    # ------------------------------------------------------------- accessors
+
+    @property
+    def input_names(self) -> List[str]:
+        """Primary input names (including the key port of a locked design)."""
+        return list(self._inputs)
+
+    @property
+    def output_names(self) -> List[str]:
+        """Primary output names driven by combinational logic."""
+        driven = {name for name, _ in self._assignments}
+        return [name for name in self._outputs if name in driven]
+
+    def width_of(self, name: str) -> int:
+        """Declared width of a signal."""
+        return self._widths.get(name, self._evaluator.default_width)
+
+    # ------------------------------------------------------------- simulation
+
+    def run(self, inputs: Mapping[str, int],
+            key: Optional[Sequence[int]] = None) -> Dict[str, int]:
+        """Evaluate the design for one input vector.
+
+        Args:
+            inputs: Values for the primary data inputs (missing inputs default
+                to 0; unknown names raise).
+            key: Optional key-bit values applied to the design's key port
+                (LSB first).  Ignored for unlocked designs.
+
+        Returns:
+            ``{output name: value}`` for every combinational output.
+
+        Raises:
+            SimulationError: for unknown input names or evaluation failures.
+        """
+        env: Dict[str, int] = {}
+        for name, value in inputs.items():
+            if name not in self._inputs:
+                raise SimulationError(f"{name!r} is not an input of "
+                                      f"{self.design.top_name!r}")
+            env[name] = mask(int(value), self.width_of(name))
+        for name in self._inputs:
+            env.setdefault(name, 0)
+
+        if self.design.key_port is not None and key is not None:
+            env[self.design.key_port] = _pack_key(key)
+
+        for name, expr in self._assignments:
+            env[name] = mask(self._evaluator.evaluate(expr, env),
+                             self.width_of(name))
+
+        return {name: env[name] for name in self.output_names}
+
+    def random_vector(self, rng: random.Random) -> Dict[str, int]:
+        """Draw a random value for every data input (key port excluded)."""
+        vector = {}
+        for name in self._inputs:
+            if name == self.design.key_port:
+                continue
+            vector[name] = rng.getrandbits(self.width_of(name))
+        return vector
+
+
+def _pack_key(key: Sequence[int]) -> int:
+    value = 0
+    for position, bit in enumerate(key):
+        if bit not in (0, 1):
+            raise SimulationError(f"key bit {position} is not 0/1")
+        value |= bit << position
+    return value
+
+
+def _declared_widths(module: ast.Module) -> Dict[str, int]:
+    widths: Dict[str, int] = {}
+    for port in module.ports:
+        widths[port.name] = port.width.width() if port.width else 1
+    for item in module.items:
+        if isinstance(item, ast.NetDeclaration):
+            width = item.width.width() if item.width else 1
+            for name in item.names:
+                widths[name] = width or 1
+        elif isinstance(item, ast.PortDeclaration):
+            width = item.width.width() if item.width else 1
+            for name in item.names:
+                widths.setdefault(name, width or 1)
+    return {name: (width if width else 1) for name, width in widths.items()}
+
+
+def _ordered_assignments(module: ast.Module) -> List[Tuple[str, ast.Expression]]:
+    """Collect combinational assignments and order them by dependencies."""
+    assignments: Dict[str, ast.Expression] = {}
+    for item in module.items:
+        if isinstance(item, ast.NetDeclaration) and item.init is not None:
+            assignments[item.names[0]] = item.init
+        elif isinstance(item, ast.ContinuousAssign):
+            target = _target_name(item.lhs)
+            if target is not None:
+                assignments[target] = item.rhs
+
+    # Topological order over "signal depends on signal" edges.
+    order: List[Tuple[str, ast.Expression]] = []
+    resolved: Set[str] = set()
+    pending = dict(assignments)
+    while pending:
+        progressed = False
+        for name in list(pending):
+            deps = {ident.name for ident in pending[name].iter_tree()
+                    if isinstance(ident, ast.Identifier)}
+            unresolved = deps & set(pending) - {name}
+            if not unresolved:
+                order.append((name, pending.pop(name)))
+                resolved.add(name)
+                progressed = True
+        if not progressed:
+            raise SimulationError(
+                "combinational dependency cycle involving: "
+                + ", ".join(sorted(pending)))
+    return order
+
+
+def _target_name(lhs: ast.Expression) -> Optional[str]:
+    if isinstance(lhs, ast.Identifier):
+        return lhs.name
+    if isinstance(lhs, (ast.BitSelect, ast.PartSelect, ast.IndexedPartSelect)):
+        # Partial assignments are not supported by this simulator.
+        return None
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Equivalence / corruption checks
+# ---------------------------------------------------------------------------
+
+
+def check_equivalence(original: Design, locked: Design, key: Sequence[int],
+                      vectors: int = 50,
+                      rng: Optional[random.Random] = None) -> EquivalenceReport:
+    """Compare a locked design under ``key`` against the original design.
+
+    Args:
+        original: The unlocked reference design.
+        locked: The locked design.
+        key: Key-bit values applied to the locked design.
+        vectors: Number of random input vectors to test.
+        rng: Random source for the input vectors.
+
+    Returns:
+        An :class:`EquivalenceReport`; ``report.equivalent`` is the verdict.
+    """
+    rng = rng or random.Random()
+    reference = CombinationalSimulator(original)
+    candidate = CombinationalSimulator(locked)
+    common_outputs = set(reference.output_names) & set(candidate.output_names)
+
+    mismatches = 0
+    first: Optional[Dict[str, object]] = None
+    for _ in range(vectors):
+        vector = reference.random_vector(rng)
+        expected = reference.run(vector)
+        actual = candidate.run(vector, key=key)
+        diff = {name for name in common_outputs
+                if expected.get(name) != actual.get(name)}
+        if diff:
+            mismatches += 1
+            if first is None:
+                first = {"inputs": dict(vector),
+                         "outputs": sorted(diff),
+                         "expected": {n: expected[n] for n in sorted(diff)},
+                         "actual": {n: actual[n] for n in sorted(diff)}}
+    return EquivalenceReport(vectors=vectors, mismatches=mismatches,
+                             first_mismatch=first)
+
+
+def output_corruption(locked: Design, correct_key: Sequence[int],
+                      wrong_key: Sequence[int], vectors: int = 50,
+                      rng: Optional[random.Random] = None) -> float:
+    """Fraction of vectors whose outputs differ between two keys.
+
+    A useful locking scheme corrupts the outputs for wrong keys; 0.0 means the
+    wrong key behaves exactly like the correct one (no protection on the
+    tested vectors).
+    """
+    rng = rng or random.Random()
+    simulator = CombinationalSimulator(locked)
+    differing = 0
+    for _ in range(vectors):
+        vector = simulator.random_vector(rng)
+        good = simulator.run(vector, key=correct_key)
+        bad = simulator.run(vector, key=wrong_key)
+        if good != bad:
+            differing += 1
+    return differing / vectors if vectors else 0.0

@@ -1,0 +1,305 @@
+"""Verilog code generation: render an AST back to source text.
+
+The generator is deterministic: two structurally identical trees always render
+to identical text, which keeps locked-design artefacts diffable and lets the
+round-trip tests compare re-parsed trees.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from . import ast_nodes as ast
+from .errors import CodegenError
+
+_INDENT = "  "
+
+
+class CodeGenerator:
+    """Render AST nodes to Verilog source text."""
+
+    def generate(self, node: ast.Node) -> str:
+        """Render ``node`` (a :class:`Source`, :class:`Module` or expression)."""
+        if isinstance(node, ast.Source):
+            return self.generate_source(node)
+        if isinstance(node, ast.Module):
+            return self.generate_module(node)
+        if isinstance(node, ast.Expression):
+            return self.expression(node)
+        if isinstance(node, ast.Statement):
+            return "\n".join(self._statement(node, 0))
+        if isinstance(node, ast.ModuleItem):
+            return "\n".join(self._module_item(node, 0))
+        raise CodegenError(f"cannot generate code for node type {type(node).__name__}")
+
+    # ----------------------------------------------------------------- source
+
+    def generate_source(self, source: ast.Source) -> str:
+        """Render a whole source file."""
+        return "\n\n".join(self.generate_module(m) for m in source.modules) + "\n"
+
+    def generate_module(self, module: ast.Module) -> str:
+        """Render one module."""
+        lines: List[str] = []
+        header = f"module {module.name}"
+        if module.parameters:
+            params = ",\n".join(
+                f"{_INDENT}parameter {self._param_body(p)}" for p in module.parameters
+            )
+            header += f" #(\n{params}\n)"
+        if module.ports:
+            ports = ",\n".join(
+                f"{_INDENT}{self._port(p)}" for p in module.ports
+            )
+            header += f" (\n{ports}\n)"
+        else:
+            header += " ()"
+        lines.append(header + ";")
+        for item in module.items:
+            lines.extend(self._module_item(item, 1))
+        lines.append("endmodule")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ pieces
+
+    def _port(self, port: ast.Port) -> str:
+        parts: List[str] = []
+        if port.direction:
+            parts.append(port.direction)
+        if port.net_type:
+            parts.append(port.net_type)
+        if port.signed:
+            parts.append("signed")
+        if port.width is not None:
+            parts.append(self._range(port.width))
+        parts.append(port.name)
+        return " ".join(parts)
+
+    def _param_body(self, param: ast.ParamDeclaration) -> str:
+        parts: List[str] = []
+        if param.signed:
+            parts.append("signed")
+        if param.width is not None:
+            parts.append(self._range(param.width))
+        parts.append(f"{param.name} = {self.expression(param.value)}")
+        return " ".join(parts)
+
+    def _range(self, rng: ast.Range) -> str:
+        return f"[{self.expression(rng.msb)}:{self.expression(rng.lsb)}]"
+
+    # ------------------------------------------------------------ module items
+
+    def _module_item(self, item: ast.ModuleItem, depth: int) -> List[str]:
+        pad = _INDENT * depth
+        if isinstance(item, ast.PortDeclaration):
+            return [pad + self._port_declaration(item)]
+        if isinstance(item, ast.NetDeclaration):
+            return [pad + self._net_declaration(item)]
+        if isinstance(item, ast.ParamDeclaration):
+            keyword = "localparam" if item.local else "parameter"
+            return [f"{pad}{keyword} {self._param_body(item)};"]
+        if isinstance(item, ast.GenvarDeclaration):
+            return [f"{pad}genvar {', '.join(item.names)};"]
+        if isinstance(item, ast.ContinuousAssign):
+            return [f"{pad}assign {self.expression(item.lhs)} = "
+                    f"{self.expression(item.rhs)};"]
+        if isinstance(item, ast.AlwaysBlock):
+            return self._always(item, depth)
+        if isinstance(item, ast.InitialBlock):
+            lines = [f"{pad}initial"]
+            lines.extend(self._statement(item.statement, depth + 1))
+            return lines
+        if isinstance(item, ast.FunctionDeclaration):
+            return self._function(item, depth)
+        if isinstance(item, ast.ModuleInstance):
+            return self._instance(item, depth)
+        raise CodegenError(f"cannot render module item {type(item).__name__}")
+
+    def _port_declaration(self, decl: ast.PortDeclaration) -> str:
+        parts = [decl.direction]
+        if decl.net_type:
+            parts.append(decl.net_type)
+        if decl.signed:
+            parts.append("signed")
+        if decl.width is not None:
+            parts.append(self._range(decl.width))
+        parts.append(", ".join(decl.names))
+        return " ".join(parts) + ";"
+
+    def _net_declaration(self, decl: ast.NetDeclaration) -> str:
+        parts = [decl.net_type]
+        if decl.signed:
+            parts.append("signed")
+        if decl.width is not None:
+            parts.append(self._range(decl.width))
+        names = ", ".join(decl.names)
+        suffix = ""
+        if decl.array_dims:
+            suffix = "".join(self._range(dim) for dim in decl.array_dims)
+            names = f"{names} {suffix}" if len(decl.names) == 1 else names
+        text = " ".join(parts) + " " + names
+        if decl.init is not None:
+            text += f" = {self.expression(decl.init)}"
+        return text + ";"
+
+    def _always(self, block: ast.AlwaysBlock, depth: int) -> List[str]:
+        pad = _INDENT * depth
+        sensitivity = self._sensitivity(block.sensitivity)
+        lines = [f"{pad}always {sensitivity}"]
+        lines.extend(self._statement(block.statement, depth + 1))
+        return lines
+
+    def _sensitivity(self, items: List[ast.SensitivityItem]) -> str:
+        if not items:
+            return ""
+        if len(items) == 1 and items[0].is_wildcard:
+            return "@(*)"
+        rendered = []
+        for item in items:
+            text = self.expression(item.signal) if item.signal is not None else "*"
+            if item.edge:
+                text = f"{item.edge} {text}"
+            rendered.append(text)
+        return "@(" + " or ".join(rendered) + ")"
+
+    def _function(self, func: ast.FunctionDeclaration, depth: int) -> List[str]:
+        pad = _INDENT * depth
+        header = "function "
+        if func.signed:
+            header += "signed "
+        if func.return_width is not None:
+            header += self._range(func.return_width) + " "
+        header += func.name + ";"
+        lines = [pad + header]
+        for item in func.items:
+            lines.extend(self._module_item(item, depth + 1))
+        lines.extend(self._statement(func.body, depth + 1))
+        lines.append(pad + "endfunction")
+        return lines
+
+    def _instance(self, inst: ast.ModuleInstance, depth: int) -> List[str]:
+        pad = _INDENT * depth
+        text = pad + inst.module_name
+        if inst.parameters:
+            text += " #(" + ", ".join(self._connection(c) for c in inst.parameters) + ")"
+        text += f" {inst.instance_name} ("
+        text += ", ".join(self._connection(c) for c in inst.connections)
+        text += ");"
+        return [text]
+
+    def _connection(self, conn: ast.PortConnection) -> str:
+        expr = self.expression(conn.expr) if conn.expr is not None else ""
+        if conn.name is not None:
+            return f".{conn.name}({expr})"
+        return expr
+
+    # -------------------------------------------------------------- statements
+
+    def _statement(self, stmt: Optional[ast.Statement], depth: int) -> List[str]:
+        pad = _INDENT * depth
+        if stmt is None or isinstance(stmt, ast.NullStatement):
+            return [pad + ";"]
+        if isinstance(stmt, ast.Block):
+            label = f" : {stmt.name}" if stmt.name else ""
+            lines = [f"{pad}begin{label}"]
+            for inner in stmt.statements:
+                lines.extend(self._statement(inner, depth + 1))
+            lines.append(f"{pad}end")
+            return lines
+        if isinstance(stmt, ast.BlockingAssign):
+            return [f"{pad}{self.expression(stmt.lhs)} = {self.expression(stmt.rhs)};"]
+        if isinstance(stmt, ast.NonBlockingAssign):
+            return [f"{pad}{self.expression(stmt.lhs)} <= {self.expression(stmt.rhs)};"]
+        if isinstance(stmt, ast.IfStatement):
+            return self._if(stmt, depth)
+        if isinstance(stmt, ast.CaseStatement):
+            return self._case(stmt, depth)
+        if isinstance(stmt, ast.ForStatement):
+            init = self._inline_assign(stmt.init)
+            step = self._inline_assign(stmt.step)
+            lines = [f"{pad}for ({init}; {self.expression(stmt.cond)}; {step})"]
+            lines.extend(self._statement(stmt.body, depth + 1))
+            return lines
+        if isinstance(stmt, ast.WhileStatement):
+            lines = [f"{pad}while ({self.expression(stmt.cond)})"]
+            lines.extend(self._statement(stmt.body, depth + 1))
+            return lines
+        if isinstance(stmt, ast.RepeatStatement):
+            lines = [f"{pad}repeat ({self.expression(stmt.count)})"]
+            lines.extend(self._statement(stmt.body, depth + 1))
+            return lines
+        if isinstance(stmt, ast.TaskCall):
+            args = ", ".join(self.expression(a) for a in stmt.args)
+            call = f"{stmt.name}({args})" if stmt.args else stmt.name
+            return [f"{pad}{call};"]
+        raise CodegenError(f"cannot render statement {type(stmt).__name__}")
+
+    def _inline_assign(self, stmt: ast.Statement) -> str:
+        if isinstance(stmt, ast.BlockingAssign):
+            return f"{self.expression(stmt.lhs)} = {self.expression(stmt.rhs)}"
+        raise CodegenError("for-loop init/step must be a blocking assignment")
+
+    def _if(self, stmt: ast.IfStatement, depth: int) -> List[str]:
+        pad = _INDENT * depth
+        lines = [f"{pad}if ({self.expression(stmt.cond)})"]
+        lines.extend(self._statement(stmt.then_stmt, depth + 1))
+        if stmt.else_stmt is not None:
+            lines.append(f"{pad}else")
+            lines.extend(self._statement(stmt.else_stmt, depth + 1))
+        return lines
+
+    def _case(self, stmt: ast.CaseStatement, depth: int) -> List[str]:
+        pad = _INDENT * depth
+        lines = [f"{pad}{stmt.kind} ({self.expression(stmt.expr)})"]
+        for item in stmt.items:
+            if item.is_default:
+                label = "default"
+            else:
+                label = ", ".join(self.expression(c) for c in item.conditions)
+            lines.append(f"{pad}{_INDENT}{label}:")
+            lines.extend(self._statement(item.statement, depth + 2))
+        lines.append(f"{pad}endcase")
+        return lines
+
+    # ------------------------------------------------------------- expressions
+
+    def expression(self, expr: ast.Expression) -> str:
+        """Render an expression (fully parenthesised for unambiguous re-parse)."""
+        if isinstance(expr, ast.Identifier):
+            return expr.name
+        if isinstance(expr, (ast.IntConst, ast.RealConst)):
+            return expr.value
+        if isinstance(expr, ast.StringConst):
+            return f'"{expr.value}"'
+        if isinstance(expr, ast.UnaryOp):
+            return f"({expr.op}{self.expression(expr.operand)})"
+        if isinstance(expr, ast.BinaryOp):
+            return (f"({self.expression(expr.left)} {expr.op} "
+                    f"{self.expression(expr.right)})")
+        if isinstance(expr, ast.TernaryOp):
+            return (f"({self.expression(expr.cond)} ? "
+                    f"{self.expression(expr.true_value)} : "
+                    f"{self.expression(expr.false_value)})")
+        if isinstance(expr, ast.Concat):
+            return "{" + ", ".join(self.expression(p) for p in expr.parts) + "}"
+        if isinstance(expr, ast.Replication):
+            return ("{" + self.expression(expr.count) + "{"
+                    + self.expression(expr.value) + "}}")
+        if isinstance(expr, ast.BitSelect):
+            return f"{self.expression(expr.target)}[{self.expression(expr.index)}]"
+        if isinstance(expr, ast.PartSelect):
+            return (f"{self.expression(expr.target)}"
+                    f"[{self.expression(expr.msb)}:{self.expression(expr.lsb)}]")
+        if isinstance(expr, ast.IndexedPartSelect):
+            return (f"{self.expression(expr.target)}"
+                    f"[{self.expression(expr.base)}{expr.direction}"
+                    f"{self.expression(expr.width)}]")
+        if isinstance(expr, ast.FunctionCall):
+            args = ", ".join(self.expression(a) for a in expr.args)
+            return f"{expr.name}({args})"
+        raise CodegenError(f"cannot render expression {type(expr).__name__}")
+
+
+def generate(node: ast.Node) -> str:
+    """Render ``node`` to Verilog source text (module-level convenience)."""
+    return CodeGenerator().generate(node)

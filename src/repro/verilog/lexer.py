@@ -1,0 +1,238 @@
+"""Hand-written lexer for the supported Verilog subset.
+
+The lexer converts raw Verilog source text into a flat list of
+:class:`~repro.verilog.tokens.Token` objects.  Comments (``//`` and ``/* */``),
+whitespace, compiler directives (```timescale``, ```default_nettype``, ...)
+and attribute instances (``(* ... *)``) are skipped.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .errors import LexerError
+from .tokens import (
+    KEYWORDS,
+    MULTI_CHAR_OPERATORS,
+    SINGLE_CHAR_OPERATORS,
+    Token,
+    TokenType,
+)
+
+_PUNCTUATION = {
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    ";": TokenType.SEMICOLON,
+    ":": TokenType.COLON,
+    ",": TokenType.COMMA,
+    ".": TokenType.DOT,
+    "@": TokenType.AT,
+    "#": TokenType.HASH,
+    "?": TokenType.QUESTION,
+}
+
+_BASE_CHARS = "bBoOdDhH"
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_$")
+_IDENT_CHARS = _IDENT_START | set("0123456789")
+_DIGITS = set("0123456789")
+
+
+class Lexer:
+    """Tokenizer for Verilog source text.
+
+    Example:
+        >>> Lexer("assign y = a + b;").tokenize()[0].value
+        'assign'
+    """
+
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    # ------------------------------------------------------------------ API
+
+    def tokenize(self) -> List[Token]:
+        """Tokenize the whole input and return the token list (EOF-terminated)."""
+        tokens: List[Token] = []
+        while True:
+            self._skip_ignorable()
+            if self._at_end():
+                tokens.append(Token(TokenType.EOF, "", self._line, self._column))
+                return tokens
+            tokens.append(self._next_token())
+
+    # ------------------------------------------------------------- internals
+
+    def _at_end(self) -> bool:
+        return self._pos >= len(self._text)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index >= len(self._text):
+            return ""
+        return self._text[index]
+
+    def _advance(self, count: int = 1) -> str:
+        chunk = self._text[self._pos:self._pos + count]
+        for char in chunk:
+            if char == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+        self._pos += count
+        return chunk
+
+    def _skip_ignorable(self) -> None:
+        """Skip whitespace, comments, compiler directives and attributes."""
+        while not self._at_end():
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "/" and self._peek(1) == "/":
+                while not self._at_end() and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                self._skip_block_comment()
+            elif char == "`":
+                # Compiler directive: skip to end of line.  `define bodies with
+                # continuations are not supported (strict subset).
+                while not self._at_end() and self._peek() != "\n":
+                    self._advance()
+            elif char == "(" and self._peek(1) == "*" and self._peek(2) != ")":
+                self._skip_attribute()
+            else:
+                return
+
+    def _skip_block_comment(self) -> None:
+        start_line, start_col = self._line, self._column
+        self._advance(2)
+        while not self._at_end():
+            if self._peek() == "*" and self._peek(1) == "/":
+                self._advance(2)
+                return
+            self._advance()
+        raise LexerError("unterminated block comment", start_line, start_col)
+
+    def _skip_attribute(self) -> None:
+        start_line, start_col = self._line, self._column
+        self._advance(2)
+        while not self._at_end():
+            if self._peek() == "*" and self._peek(1) == ")":
+                self._advance(2)
+                return
+            self._advance()
+        raise LexerError("unterminated attribute instance", start_line, start_col)
+
+    def _next_token(self) -> Token:
+        line, column = self._line, self._column
+        char = self._peek()
+
+        if char in _IDENT_START:
+            return self._lex_identifier(line, column)
+        if char in _DIGITS or (char == "'" and self._peek(1) in _BASE_CHARS):
+            return self._lex_number(line, column)
+        if char == '"':
+            return self._lex_string(line, column)
+        if char == "\\":
+            return self._lex_escaped_identifier(line, column)
+        if char in _PUNCTUATION:
+            # '(' handled here; attributes were already skipped.
+            self._advance()
+            return Token(_PUNCTUATION[char], char, line, column)
+        return self._lex_operator(line, column)
+
+    def _lex_identifier(self, line: int, column: int) -> Token:
+        start = self._pos
+        while not self._at_end() and self._peek() in _IDENT_CHARS:
+            self._advance()
+        word = self._text[start:self._pos]
+        if word in KEYWORDS:
+            return Token(TokenType.KEYWORD, word, line, column)
+        return Token(TokenType.IDENTIFIER, word, line, column)
+
+    def _lex_escaped_identifier(self, line: int, column: int) -> Token:
+        self._advance()  # backslash
+        start = self._pos
+        while not self._at_end() and self._peek() not in " \t\r\n":
+            self._advance()
+        word = self._text[start:self._pos]
+        if not word:
+            raise LexerError("empty escaped identifier", line, column)
+        return Token(TokenType.IDENTIFIER, word, line, column)
+
+    def _lex_string(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        start = self._pos
+        while not self._at_end() and self._peek() != '"':
+            if self._peek() == "\\":
+                self._advance()
+            self._advance()
+        if self._at_end():
+            raise LexerError("unterminated string literal", line, column)
+        value = self._text[start:self._pos]
+        self._advance()  # closing quote
+        return Token(TokenType.STRING, value, line, column)
+
+    def _lex_number(self, line: int, column: int) -> Token:
+        start = self._pos
+        # Optional size prefix (decimal digits, possibly with underscores).
+        while not self._at_end() and (self._peek() in _DIGITS or self._peek() == "_"):
+            self._advance()
+
+        if self._peek() == "'" :
+            return self._lex_based_number(start, line, column)
+
+        if self._peek() == "." and self._peek(1) in _DIGITS:
+            self._advance()
+            while not self._at_end() and self._peek() in _DIGITS:
+                self._advance()
+            return Token(TokenType.REAL, self._text[start:self._pos], line, column)
+
+        return Token(TokenType.NUMBER, self._text[start:self._pos], line, column)
+
+    def _lex_based_number(self, start: int, line: int, column: int) -> Token:
+        self._advance()  # apostrophe
+        if self._peek() in "sS":
+            self._advance()
+        if self._peek() not in _BASE_CHARS:
+            raise LexerError(
+                f"invalid base character {self._peek()!r} in based literal",
+                self._line,
+                self._column,
+            )
+        self._advance()  # base character
+        # Allow whitespace between the base and the digits (legal Verilog).
+        while not self._at_end() and self._peek() in " \t":
+            self._advance()
+        digit_start = self._pos
+        valid = set("0123456789abcdefABCDEFxXzZ_?")
+        while not self._at_end() and self._peek() in valid:
+            self._advance()
+        if self._pos == digit_start:
+            raise LexerError("based literal has no digits", line, column)
+        raw = self._text[start:self._pos]
+        normalised = "".join(raw.split())
+        return Token(TokenType.BASED_NUMBER, normalised, line, column)
+
+    def _lex_operator(self, line: int, column: int) -> Token:
+        for op in MULTI_CHAR_OPERATORS:
+            if self._text.startswith(op, self._pos):
+                self._advance(len(op))
+                return Token(TokenType.OPERATOR, op, line, column)
+        char = self._peek()
+        if char in SINGLE_CHAR_OPERATORS:
+            self._advance()
+            return Token(TokenType.OPERATOR, char, line, column)
+        raise LexerError(f"unexpected character {char!r}", line, column)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Convenience wrapper: tokenize ``text`` and return the token list."""
+    return Lexer(text).tokenize()

@@ -1,0 +1,709 @@
+"""Recursive-descent parser for the supported synthesizable Verilog subset.
+
+The parser consumes the token stream produced by :mod:`repro.verilog.lexer`
+and produces the AST defined in :mod:`repro.verilog.ast_nodes`.  Supported
+constructs:
+
+* module declarations with ANSI and non-ANSI port lists and header parameters,
+* ``parameter``/``localparam``, ``wire``/``reg``/``integer``/``genvar``
+  declarations (with packed and unpacked dimensions),
+* continuous assignments, ``always`` and ``initial`` processes,
+* ``begin/end`` blocks, ``if``/``else``, ``case``/``casex``/``casez``,
+  ``for``/``while``/``repeat`` loops, blocking and non-blocking assignments,
+  task enables,
+* function declarations,
+* module instantiations with parameter overrides,
+* the full Verilog expression grammar (ternary, binary, unary/reduction,
+  concatenation, replication, bit/part selects, function calls).
+
+Everything else raises :class:`~repro.verilog.errors.ParseError`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from . import ast_nodes as ast
+from .errors import ParseError
+from .lexer import tokenize
+from .tokens import Token, TokenType
+
+# Binary operator precedence: higher binds tighter.  Mirrors IEEE 1364-2005
+# Table 5-4 (without the assignment operators, which are statements here).
+_BINARY_PRECEDENCE = {
+    "**": 12,
+    "*": 11, "/": 11, "%": 11,
+    "+": 10, "-": 10,
+    "<<": 9, ">>": 9, "<<<": 9, ">>>": 9,
+    "<": 8, "<=": 8, ">": 8, ">=": 8,
+    "==": 7, "!=": 7, "===": 7, "!==": 7,
+    "&": 6,
+    "^": 5, "^~": 5, "~^": 5,
+    "|": 4,
+    "&&": 3,
+    "||": 2,
+}
+
+_UNARY_OPERATORS = {"+", "-", "!", "~", "&", "~&", "|", "~|", "^", "~^", "^~"}
+
+_NET_TYPES = {"wire", "reg", "integer", "real", "supply0", "supply1"}
+
+
+class Parser:
+    """Parser over a token list.  Use :func:`parse` for the common case."""
+
+    def __init__(self, tokens: Sequence[Token]) -> None:
+        self._tokens = list(tokens)
+        self._pos = 0
+
+    # ------------------------------------------------------------------ API
+
+    def parse_source(self) -> ast.Source:
+        """Parse a complete source text (one or more modules)."""
+        modules: List[ast.Module] = []
+        while not self._check(TokenType.EOF):
+            modules.append(self.parse_module())
+        return ast.Source(modules)
+
+    def parse_module(self) -> ast.Module:
+        """Parse a single ``module ... endmodule``."""
+        self._expect_keyword("module")
+        name = self._expect(TokenType.IDENTIFIER).value
+        parameters: List[ast.ParamDeclaration] = []
+        ports: List[ast.Port] = []
+
+        if self._check(TokenType.HASH):
+            self._advance()
+            parameters = self._parse_header_parameters()
+
+        if self._check(TokenType.LPAREN):
+            self._advance()
+            ports = self._parse_port_list()
+            self._expect(TokenType.RPAREN)
+        self._expect(TokenType.SEMICOLON)
+
+        items: List[ast.ModuleItem] = []
+        while not self._check_keyword("endmodule"):
+            if self._check(TokenType.EOF):
+                raise self._error("unexpected end of file inside module body")
+            item = self._parse_module_item()
+            if item is not None:
+                items.append(item)
+        self._expect_keyword("endmodule")
+
+        module = ast.Module(name, ports, items, parameters)
+        _merge_port_directions(module)
+        return module
+
+    # ----------------------------------------------------------- token utils
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, token_type: TokenType) -> bool:
+        return self._peek().type is token_type
+
+    def _check_keyword(self, word: str) -> bool:
+        return self._peek().is_keyword(word)
+
+    def _check_operator(self, op: str) -> bool:
+        return self._peek().is_operator(op)
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._check_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _accept_operator(self, op: str) -> bool:
+        if self._check_operator(op):
+            self._advance()
+            return True
+        return False
+
+    def _accept(self, token_type: TokenType) -> Optional[Token]:
+        if self._check(token_type):
+            return self._advance()
+        return None
+
+    def _expect(self, token_type: TokenType) -> Token:
+        if not self._check(token_type):
+            raise self._error(f"expected {token_type.name}, found {self._peek().value!r}")
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> Token:
+        if not self._check_keyword(word):
+            raise self._error(f"expected keyword {word!r}, found {self._peek().value!r}")
+        return self._advance()
+
+    def _expect_operator(self, op: str) -> Token:
+        if not self._check_operator(op):
+            raise self._error(f"expected operator {op!r}, found {self._peek().value!r}")
+        return self._advance()
+
+    def _error(self, message: str) -> ParseError:
+        token = self._peek()
+        return ParseError(message, token.line, token.column)
+
+    # ------------------------------------------------------------ module head
+
+    def _parse_header_parameters(self) -> List[ast.ParamDeclaration]:
+        self._expect(TokenType.LPAREN)
+        params: List[ast.ParamDeclaration] = []
+        while True:
+            self._accept_keyword("parameter")
+            self._accept_keyword("integer")
+            signed = self._accept_keyword("signed")
+            width = self._parse_optional_range()
+            name = self._expect(TokenType.IDENTIFIER).value
+            self._expect_operator("=")
+            value = self.parse_expression()
+            params.append(ast.ParamDeclaration(name, value, local=False,
+                                               width=width, signed=signed))
+            if not self._accept(TokenType.COMMA):
+                break
+        self._expect(TokenType.RPAREN)
+        return params
+
+    def _parse_port_list(self) -> List[ast.Port]:
+        ports: List[ast.Port] = []
+        if self._check(TokenType.RPAREN):
+            return ports
+        # Track the most recent ANSI attributes so `input [3:0] a, b` works.
+        direction: Optional[str] = None
+        net_type: Optional[str] = None
+        width: Optional[ast.Range] = None
+        signed = False
+        while True:
+            if self._peek().type is TokenType.KEYWORD and \
+                    self._peek().value in ("input", "output", "inout"):
+                direction = self._advance().value
+                net_type = None
+                width = None
+                signed = False
+                if self._peek().type is TokenType.KEYWORD and \
+                        self._peek().value in ("wire", "reg"):
+                    net_type = self._advance().value
+                if self._accept_keyword("signed"):
+                    signed = True
+                width = self._parse_optional_range()
+            name = self._expect(TokenType.IDENTIFIER).value
+            ports.append(ast.Port(name, direction=direction, net_type=net_type,
+                                  width=width, signed=signed))
+            if not self._accept(TokenType.COMMA):
+                break
+        return ports
+
+    # ------------------------------------------------------------ module items
+
+    def _parse_module_item(self) -> Optional[ast.ModuleItem]:
+        token = self._peek()
+        if token.type is TokenType.KEYWORD:
+            word = token.value
+            if word in ("input", "output", "inout"):
+                return self._parse_port_declaration()
+            if word in _NET_TYPES:
+                return self._parse_net_declaration()
+            if word in ("parameter", "localparam"):
+                return self._parse_param_declaration()
+            if word == "assign":
+                return self._parse_continuous_assign()
+            if word == "always":
+                return self._parse_always()
+            if word == "initial":
+                return self._parse_initial()
+            if word == "function":
+                return self._parse_function()
+            if word == "genvar":
+                return self._parse_genvar()
+            if word in ("generate", "endgenerate"):
+                raise self._error("generate blocks are not supported by this subset")
+            if word in ("task", "endtask"):
+                raise self._error("task declarations are not supported by this subset")
+            raise self._error(f"unsupported module item starting with keyword {word!r}")
+        if token.type is TokenType.IDENTIFIER:
+            return self._parse_instance()
+        if token.type is TokenType.SEMICOLON:
+            self._advance()
+            return None
+        raise self._error(f"unexpected token {token.value!r} in module body")
+
+    def _parse_port_declaration(self) -> ast.PortDeclaration:
+        direction = self._advance().value
+        net_type = None
+        if self._peek().type is TokenType.KEYWORD and self._peek().value in ("wire", "reg"):
+            net_type = self._advance().value
+        signed = self._accept_keyword("signed")
+        width = self._parse_optional_range()
+        names = [self._expect(TokenType.IDENTIFIER).value]
+        while self._accept(TokenType.COMMA):
+            names.append(self._expect(TokenType.IDENTIFIER).value)
+        self._expect(TokenType.SEMICOLON)
+        return ast.PortDeclaration(direction, names, width=width,
+                                   net_type=net_type, signed=signed)
+
+    def _parse_net_declaration(self) -> ast.NetDeclaration:
+        net_type = self._advance().value
+        signed = self._accept_keyword("signed")
+        width = self._parse_optional_range()
+        names: List[str] = []
+        array_dims: List[ast.Range] = []
+        init: Optional[ast.Expression] = None
+
+        names.append(self._expect(TokenType.IDENTIFIER).value)
+        while self._check(TokenType.LBRACKET):
+            array_dims.append(self._parse_range())
+        if self._accept_operator("="):
+            init = self.parse_expression()
+        while self._accept(TokenType.COMMA):
+            names.append(self._expect(TokenType.IDENTIFIER).value)
+        self._expect(TokenType.SEMICOLON)
+        return ast.NetDeclaration(net_type, names, width=width,
+                                  array_dims=array_dims, signed=signed, init=init)
+
+    def _parse_param_declaration(self) -> ast.ParamDeclaration:
+        local = self._advance().value == "localparam"
+        self._accept_keyword("integer")
+        signed = self._accept_keyword("signed")
+        width = self._parse_optional_range()
+        name = self._expect(TokenType.IDENTIFIER).value
+        self._expect_operator("=")
+        value = self.parse_expression()
+        self._expect(TokenType.SEMICOLON)
+        return ast.ParamDeclaration(name, value, local=local, width=width, signed=signed)
+
+    def _parse_genvar(self) -> ast.GenvarDeclaration:
+        self._expect_keyword("genvar")
+        names = [self._expect(TokenType.IDENTIFIER).value]
+        while self._accept(TokenType.COMMA):
+            names.append(self._expect(TokenType.IDENTIFIER).value)
+        self._expect(TokenType.SEMICOLON)
+        return ast.GenvarDeclaration(names)
+
+    def _parse_continuous_assign(self) -> ast.ContinuousAssign:
+        self._expect_keyword("assign")
+        lhs = self.parse_expression()
+        self._expect_operator("=")
+        rhs = self.parse_expression()
+        self._expect(TokenType.SEMICOLON)
+        return ast.ContinuousAssign(lhs, rhs)
+
+    def _parse_always(self) -> ast.AlwaysBlock:
+        self._expect_keyword("always")
+        sensitivity: List[ast.SensitivityItem] = []
+        if self._accept(TokenType.AT):
+            sensitivity = self._parse_sensitivity_list()
+        statement = self._parse_statement()
+        return ast.AlwaysBlock(sensitivity, statement)
+
+    def _parse_initial(self) -> ast.InitialBlock:
+        self._expect_keyword("initial")
+        return ast.InitialBlock(self._parse_statement())
+
+    def _parse_sensitivity_list(self) -> List[ast.SensitivityItem]:
+        items: List[ast.SensitivityItem] = []
+        if self._accept_operator("*"):
+            return [ast.SensitivityItem(None)]
+        self._expect(TokenType.LPAREN)
+        if self._accept_operator("*"):
+            self._expect(TokenType.RPAREN)
+            return [ast.SensitivityItem(None)]
+        while True:
+            edge = None
+            if self._check_keyword("posedge") or self._check_keyword("negedge"):
+                edge = self._advance().value
+            signal = self.parse_expression()
+            items.append(ast.SensitivityItem(signal, edge))
+            if self._accept(TokenType.COMMA) or self._accept_keyword("or"):
+                continue
+            break
+        self._expect(TokenType.RPAREN)
+        return items
+
+    def _parse_function(self) -> ast.FunctionDeclaration:
+        self._expect_keyword("function")
+        self._accept_keyword("automatic")  # not a keyword in our lexer, harmless
+        signed = self._accept_keyword("signed")
+        return_width = self._parse_optional_range()
+        name = self._expect(TokenType.IDENTIFIER).value
+        self._expect(TokenType.SEMICOLON)
+        items: List[ast.Node] = []
+        while self._peek().type is TokenType.KEYWORD and \
+                self._peek().value in ("input", "output", "inout", "reg", "integer",
+                                       "parameter", "localparam", "wire"):
+            word = self._peek().value
+            if word in ("input", "output", "inout"):
+                items.append(self._parse_port_declaration())
+            elif word in ("parameter", "localparam"):
+                items.append(self._parse_param_declaration())
+            else:
+                items.append(self._parse_net_declaration())
+        body = self._parse_statement()
+        self._expect_keyword("endfunction")
+        return ast.FunctionDeclaration(name, return_width, items, body, signed=signed)
+
+    def _parse_instance(self) -> ast.ModuleInstance:
+        module_name = self._expect(TokenType.IDENTIFIER).value
+        parameters: List[ast.PortConnection] = []
+        if self._accept(TokenType.HASH):
+            self._expect(TokenType.LPAREN)
+            parameters = self._parse_connection_list()
+            self._expect(TokenType.RPAREN)
+        instance_name = self._expect(TokenType.IDENTIFIER).value
+        self._expect(TokenType.LPAREN)
+        connections = self._parse_connection_list()
+        self._expect(TokenType.RPAREN)
+        self._expect(TokenType.SEMICOLON)
+        return ast.ModuleInstance(module_name, instance_name, parameters, connections)
+
+    def _parse_connection_list(self) -> List[ast.PortConnection]:
+        connections: List[ast.PortConnection] = []
+        if self._check(TokenType.RPAREN):
+            return connections
+        while True:
+            if self._check(TokenType.DOT):
+                self._advance()
+                name = self._expect(TokenType.IDENTIFIER).value
+                self._expect(TokenType.LPAREN)
+                expr = None
+                if not self._check(TokenType.RPAREN):
+                    expr = self.parse_expression()
+                self._expect(TokenType.RPAREN)
+                connections.append(ast.PortConnection(expr, name))
+            else:
+                connections.append(ast.PortConnection(self.parse_expression()))
+            if not self._accept(TokenType.COMMA):
+                break
+        return connections
+
+    # -------------------------------------------------------------- statements
+
+    def _parse_statement(self) -> ast.Statement:
+        token = self._peek()
+        if token.type is TokenType.KEYWORD:
+            word = token.value
+            if word == "begin":
+                return self._parse_block()
+            if word == "if":
+                return self._parse_if()
+            if word in ("case", "casex", "casez"):
+                return self._parse_case()
+            if word == "for":
+                return self._parse_for()
+            if word == "while":
+                return self._parse_while()
+            if word == "repeat":
+                return self._parse_repeat()
+            raise self._error(f"unsupported statement keyword {word!r}")
+        if token.type is TokenType.SEMICOLON:
+            self._advance()
+            return ast.NullStatement()
+        if token.type is TokenType.IDENTIFIER and token.value.startswith("$"):
+            return self._parse_task_call()
+        if token.type is TokenType.IDENTIFIER or token.type is TokenType.LBRACE:
+            return self._parse_assignment_or_task()
+        raise self._error(f"unexpected token {token.value!r} at start of statement")
+
+    def _parse_block(self) -> ast.Block:
+        self._expect_keyword("begin")
+        name = None
+        if self._accept(TokenType.COLON):
+            name = self._expect(TokenType.IDENTIFIER).value
+        statements: List[ast.Statement] = []
+        while not self._check_keyword("end"):
+            if self._check(TokenType.EOF):
+                raise self._error("unexpected end of file inside begin/end block")
+            statements.append(self._parse_statement())
+        self._expect_keyword("end")
+        return ast.Block(statements, name)
+
+    def _parse_if(self) -> ast.IfStatement:
+        self._expect_keyword("if")
+        self._expect(TokenType.LPAREN)
+        cond = self.parse_expression()
+        self._expect(TokenType.RPAREN)
+        then_stmt = self._parse_statement()
+        else_stmt = None
+        if self._accept_keyword("else"):
+            else_stmt = self._parse_statement()
+        return ast.IfStatement(cond, then_stmt, else_stmt)
+
+    def _parse_case(self) -> ast.CaseStatement:
+        kind = self._advance().value
+        self._expect(TokenType.LPAREN)
+        expr = self.parse_expression()
+        self._expect(TokenType.RPAREN)
+        items: List[ast.CaseItem] = []
+        while not self._check_keyword("endcase"):
+            if self._check(TokenType.EOF):
+                raise self._error("unexpected end of file inside case statement")
+            items.append(self._parse_case_item())
+        self._expect_keyword("endcase")
+        return ast.CaseStatement(expr, items, kind)
+
+    def _parse_case_item(self) -> ast.CaseItem:
+        conditions: List[ast.Expression] = []
+        if self._accept_keyword("default"):
+            self._accept(TokenType.COLON)
+        else:
+            conditions.append(self.parse_expression())
+            while self._accept(TokenType.COMMA):
+                conditions.append(self.parse_expression())
+            self._expect(TokenType.COLON)
+        if self._check(TokenType.SEMICOLON):
+            self._advance()
+            return ast.CaseItem(conditions, ast.NullStatement())
+        return ast.CaseItem(conditions, self._parse_statement())
+
+    def _parse_for(self) -> ast.ForStatement:
+        self._expect_keyword("for")
+        self._expect(TokenType.LPAREN)
+        init = self._parse_simple_assignment()
+        self._expect(TokenType.SEMICOLON)
+        cond = self.parse_expression()
+        self._expect(TokenType.SEMICOLON)
+        step = self._parse_simple_assignment()
+        self._expect(TokenType.RPAREN)
+        body = self._parse_statement()
+        return ast.ForStatement(init, cond, step, body)
+
+    def _parse_while(self) -> ast.WhileStatement:
+        self._expect_keyword("while")
+        self._expect(TokenType.LPAREN)
+        cond = self.parse_expression()
+        self._expect(TokenType.RPAREN)
+        return ast.WhileStatement(cond, self._parse_statement())
+
+    def _parse_repeat(self) -> ast.RepeatStatement:
+        self._expect_keyword("repeat")
+        self._expect(TokenType.LPAREN)
+        count = self.parse_expression()
+        self._expect(TokenType.RPAREN)
+        return ast.RepeatStatement(count, self._parse_statement())
+
+    def _parse_simple_assignment(self) -> ast.BlockingAssign:
+        lhs = self._parse_lvalue()
+        self._expect_operator("=")
+        rhs = self.parse_expression()
+        return ast.BlockingAssign(lhs, rhs)
+
+    def _parse_task_call(self) -> ast.TaskCall:
+        name = self._expect(TokenType.IDENTIFIER).value
+        args: List[ast.Expression] = []
+        if self._accept(TokenType.LPAREN):
+            if not self._check(TokenType.RPAREN):
+                args.append(self.parse_expression())
+                while self._accept(TokenType.COMMA):
+                    args.append(self.parse_expression())
+            self._expect(TokenType.RPAREN)
+        self._expect(TokenType.SEMICOLON)
+        return ast.TaskCall(name, args)
+
+    def _parse_assignment_or_task(self) -> ast.Statement:
+        lhs = self._parse_lvalue()
+        if self._check(TokenType.SEMICOLON) and isinstance(lhs, ast.Identifier):
+            # A bare task enable like ``my_task;``
+            self._advance()
+            return ast.TaskCall(lhs.name, [])
+        if self._accept_operator("<="):
+            rhs = self.parse_expression()
+            self._expect(TokenType.SEMICOLON)
+            return ast.NonBlockingAssign(lhs, rhs)
+        self._expect_operator("=")
+        rhs = self.parse_expression()
+        self._expect(TokenType.SEMICOLON)
+        return ast.BlockingAssign(lhs, rhs)
+
+    def _parse_lvalue(self) -> ast.Expression:
+        if self._check(TokenType.LBRACE):
+            return self._parse_concat()
+        name = self._expect(TokenType.IDENTIFIER).value
+        expr: ast.Expression = ast.Identifier(name)
+        while self._check(TokenType.LBRACKET):
+            expr = self._parse_select(expr)
+        return expr
+
+    # ------------------------------------------------------------- expressions
+
+    def parse_expression(self) -> ast.Expression:
+        """Parse a full expression (ternary precedence level)."""
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> ast.Expression:
+        cond = self._parse_binary(0)
+        if self._accept(TokenType.QUESTION):
+            true_value = self._parse_ternary()
+            self._expect(TokenType.COLON)
+            false_value = self._parse_ternary()
+            return ast.TernaryOp(cond, true_value, false_value)
+        return cond
+
+    def _parse_binary(self, min_precedence: int) -> ast.Expression:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.type is not TokenType.OPERATOR:
+                return left
+            precedence = _BINARY_PRECEDENCE.get(token.value)
+            if precedence is None or precedence < min_precedence:
+                return left
+            op = self._advance().value
+            # ``**`` is right-associative, everything else left-associative.
+            next_min = precedence if op == "**" else precedence + 1
+            right = self._parse_binary(next_min)
+            left = ast.BinaryOp(op, left, right)
+
+    def _parse_unary(self) -> ast.Expression:
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value in _UNARY_OPERATORS:
+            op = self._advance().value
+            operand = self._parse_unary()
+            return ast.UnaryOp(op, operand)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expression:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            if self._check(TokenType.BASED_NUMBER):
+                # Size written separately from based digits, e.g. ``4 'b1010``.
+                based = self._advance()
+                return ast.IntConst(token.value + based.value)
+            return ast.IntConst(token.value)
+        if token.type is TokenType.BASED_NUMBER:
+            self._advance()
+            return ast.IntConst(token.value)
+        if token.type is TokenType.REAL:
+            self._advance()
+            return ast.RealConst(token.value)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.StringConst(token.value)
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            expr = self.parse_expression()
+            self._expect(TokenType.RPAREN)
+            return expr
+        if token.type is TokenType.LBRACE:
+            return self._parse_concat()
+        if token.type is TokenType.IDENTIFIER:
+            return self._parse_identifier_expression()
+        raise self._error(f"unexpected token {token.value!r} in expression")
+
+    def _parse_identifier_expression(self) -> ast.Expression:
+        name = self._advance().value
+        if self._check(TokenType.LPAREN):
+            self._advance()
+            args: List[ast.Expression] = []
+            if not self._check(TokenType.RPAREN):
+                args.append(self.parse_expression())
+                while self._accept(TokenType.COMMA):
+                    args.append(self.parse_expression())
+            self._expect(TokenType.RPAREN)
+            return ast.FunctionCall(name, args)
+        expr: ast.Expression = ast.Identifier(name)
+        while self._check(TokenType.LBRACKET):
+            expr = self._parse_select(expr)
+        return expr
+
+    def _parse_select(self, target: ast.Expression) -> ast.Expression:
+        self._expect(TokenType.LBRACKET)
+        first = self.parse_expression()
+        if self._accept(TokenType.COLON):
+            second = self.parse_expression()
+            self._expect(TokenType.RBRACKET)
+            return ast.PartSelect(target, first, second)
+        for direction in ("+:", "-:"):
+            if self._check_operator(direction):
+                self._advance()
+                width = self.parse_expression()
+                self._expect(TokenType.RBRACKET)
+                return ast.IndexedPartSelect(target, first, width, direction)
+        self._expect(TokenType.RBRACKET)
+        return ast.BitSelect(target, first)
+
+    def _parse_concat(self) -> ast.Expression:
+        self._expect(TokenType.LBRACE)
+        first = self.parse_expression()
+        if self._check(TokenType.LBRACE):
+            # Replication: ``{count {value}}``
+            inner = self._parse_concat()
+            self._expect(TokenType.RBRACE)
+            if isinstance(inner, ast.Concat) and len(inner.parts) == 1:
+                return ast.Replication(first, inner.parts[0])
+            return ast.Replication(first, inner)
+        parts = [first]
+        while self._accept(TokenType.COMMA):
+            parts.append(self.parse_expression())
+        self._expect(TokenType.RBRACE)
+        return ast.Concat(parts)
+
+    # ------------------------------------------------------------------ ranges
+
+    def _parse_optional_range(self) -> Optional[ast.Range]:
+        if self._check(TokenType.LBRACKET):
+            return self._parse_range()
+        return None
+
+    def _parse_range(self) -> ast.Range:
+        self._expect(TokenType.LBRACKET)
+        msb = self.parse_expression()
+        self._expect(TokenType.COLON)
+        lsb = self.parse_expression()
+        self._expect(TokenType.RBRACKET)
+        return ast.Range(msb, lsb)
+
+
+def _merge_port_directions(module: ast.Module) -> None:
+    """Copy direction/width info from body port declarations onto header ports.
+
+    Non-ANSI modules list bare names in the header and declare direction and
+    width in the body.  After this pass every :class:`~ast_nodes.Port` carries
+    its direction/width when the information exists anywhere in the module.
+    """
+    declarations = {}
+    for item in module.items:
+        if isinstance(item, ast.PortDeclaration):
+            for name in item.names:
+                declarations[name] = item
+    for port in module.ports:
+        decl = declarations.get(port.name)
+        if decl is None:
+            continue
+        if port.direction is None:
+            port.direction = decl.direction
+        if port.width is None:
+            port.width = decl.width
+        if port.net_type is None:
+            port.net_type = decl.net_type
+        port.signed = port.signed or decl.signed
+
+
+def parse(text: str) -> ast.Source:
+    """Parse Verilog source text into a :class:`~ast_nodes.Source` tree."""
+    return Parser(tokenize(text)).parse_source()
+
+
+def parse_module(text: str) -> ast.Module:
+    """Parse source text expected to contain exactly one module."""
+    source = parse(text)
+    if len(source.modules) != 1:
+        raise ParseError(
+            f"expected exactly one module, found {len(source.modules)}")
+    return source.modules[0]
+
+
+def parse_expression(text: str) -> ast.Expression:
+    """Parse a standalone expression (useful in tests and tools)."""
+    parser = Parser(tokenize(text))
+    expr = parser.parse_expression()
+    if not parser._check(TokenType.EOF):  # noqa: SLF001 - internal reuse
+        raise ParseError(f"trailing input after expression: {parser._peek().value!r}")
+    return expr

@@ -1,0 +1,166 @@
+"""A minimal Verilog preprocessor.
+
+Real-world RTL (the open-source cores the ASSURE evaluation uses) relies on a
+small set of compiler directives.  This module expands the common ones before
+lexing so the strict lexer/parser only ever see plain Verilog:
+
+* ```define NAME value`` / ```undef NAME`` — object-like macros (no arguments),
+* ```ifdef`` / ```ifndef`` / ```else`` / ```endif`` — conditional compilation,
+* ```include "file"`` — resolved against an include search path,
+* every other directive (```timescale``, ```default_nettype``, ...) is dropped.
+
+Macro expansion is textual and repeated until a fixed point (with a recursion
+guard), matching how simple cores use ```define`` for named constants.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .errors import VerilogError
+
+_MACRO_USE = re.compile(r"`([A-Za-z_][A-Za-z0-9_$]*)")
+_MAX_EXPANSION_ROUNDS = 32
+
+
+class PreprocessorError(VerilogError):
+    """Raised for malformed directives or unresolvable includes."""
+
+
+class Preprocessor:
+    """Expand a limited set of compiler directives.
+
+    Args:
+        include_dirs: Directories searched (in order) for ```include`` files.
+        defines: Pre-defined macros, e.g. ``{"SYNTHESIS": ""}``.
+    """
+
+    def __init__(self, include_dirs: Optional[Sequence[Path]] = None,
+                 defines: Optional[Dict[str, str]] = None) -> None:
+        self._include_dirs = [Path(d) for d in (include_dirs or [])]
+        self._defines: Dict[str, str] = dict(defines or {})
+
+    @property
+    def defines(self) -> Dict[str, str]:
+        """The currently defined macros (name -> replacement text)."""
+        return dict(self._defines)
+
+    def process(self, text: str, source_dir: Optional[Path] = None) -> str:
+        """Return ``text`` with directives handled and macros expanded."""
+        lines = self._process_lines(text.splitlines(), source_dir)
+        return "\n".join(lines) + ("\n" if text.endswith("\n") or lines else "")
+
+    def process_file(self, path: Path) -> str:
+        """Read ``path`` and preprocess its contents."""
+        path = Path(path)
+        return self.process(path.read_text(), source_dir=path.parent)
+
+    # ------------------------------------------------------------- internals
+
+    def _process_lines(self, lines: Sequence[str],
+                       source_dir: Optional[Path]) -> List[str]:
+        output: List[str] = []
+        # Stack of booleans: is the current conditional branch active?
+        condition_stack: List[bool] = []
+
+        for raw_line in lines:
+            stripped = raw_line.strip()
+            active = all(condition_stack)
+
+            if stripped.startswith("`ifdef") or stripped.startswith("`ifndef"):
+                parts = stripped.split()
+                if len(parts) < 2:
+                    raise PreprocessorError(f"malformed directive: {stripped!r}")
+                defined = parts[1] in self._defines
+                wanted = defined if parts[0] == "`ifdef" else not defined
+                condition_stack.append(wanted)
+                continue
+            if stripped.startswith("`else"):
+                if not condition_stack:
+                    raise PreprocessorError("`else without matching `ifdef")
+                condition_stack[-1] = not condition_stack[-1]
+                continue
+            if stripped.startswith("`endif"):
+                if not condition_stack:
+                    raise PreprocessorError("`endif without matching `ifdef")
+                condition_stack.pop()
+                continue
+
+            if not active:
+                continue
+
+            if stripped.startswith("`define"):
+                self._handle_define(stripped)
+                continue
+            if stripped.startswith("`undef"):
+                parts = stripped.split()
+                if len(parts) >= 2:
+                    self._defines.pop(parts[1], None)
+                continue
+            if stripped.startswith("`include"):
+                output.extend(self._handle_include(stripped, source_dir))
+                continue
+            if stripped.startswith("`"):
+                # `timescale, `default_nettype, `resetall, ...: drop the line.
+                continue
+
+            output.append(self._expand_macros(raw_line))
+
+        if condition_stack:
+            raise PreprocessorError("unterminated `ifdef block")
+        return output
+
+    def _handle_define(self, line: str) -> None:
+        body = line[len("`define"):].strip()
+        if not body:
+            raise PreprocessorError("`define without a macro name")
+        parts = body.split(None, 1)
+        name = parts[0]
+        if "(" in name:
+            raise PreprocessorError(
+                f"function-like macro {name!r} is not supported by this subset")
+        value = parts[1] if len(parts) > 1 else ""
+        # Strip trailing line comments from the macro body.
+        value = value.split("//", 1)[0].rstrip()
+        self._defines[name] = value
+
+    def _handle_include(self, line: str, source_dir: Optional[Path]) -> List[str]:
+        match = re.search(r'`include\s+"([^"]+)"', line)
+        if match is None:
+            raise PreprocessorError(f"malformed `include directive: {line!r}")
+        filename = match.group(1)
+        search_dirs = list(self._include_dirs)
+        if source_dir is not None:
+            search_dirs.insert(0, Path(source_dir))
+        for directory in search_dirs:
+            candidate = directory / filename
+            if candidate.exists():
+                nested = candidate.read_text().splitlines()
+                return self._process_lines(nested, candidate.parent)
+        raise PreprocessorError(f"cannot resolve `include \"{filename}\"")
+
+    def _expand_macros(self, line: str) -> str:
+        if "`" not in line:
+            return line
+        for _ in range(_MAX_EXPANSION_ROUNDS):
+            replaced = _MACRO_USE.sub(self._substitute, line)
+            if replaced == line:
+                return replaced
+            line = replaced
+        raise PreprocessorError("macro expansion did not converge "
+                                "(possible recursive `define)")
+
+    def _substitute(self, match: "re.Match[str]") -> str:
+        name = match.group(1)
+        if name in self._defines:
+            return self._defines[name]
+        # Unknown macro use: leave it; the lexer will flag it if it matters.
+        return match.group(0)
+
+
+def preprocess(text: str, include_dirs: Optional[Sequence[Path]] = None,
+               defines: Optional[Dict[str, str]] = None) -> str:
+    """Functional wrapper around :class:`Preprocessor`."""
+    return Preprocessor(include_dirs=include_dirs, defines=defines).process(text)

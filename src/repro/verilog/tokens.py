@@ -1,0 +1,104 @@
+"""Token definitions for the Verilog lexer.
+
+Only the constructs needed by the synthesizable subset handled by
+:mod:`repro.verilog.parser` are tokenized.  Tokens carry their source location
+so parse errors can point back at the offending line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokenType(Enum):
+    """Lexical categories produced by :class:`repro.verilog.lexer.Lexer`."""
+
+    # Literals / identifiers
+    IDENTIFIER = auto()
+    NUMBER = auto()          # plain decimal integer, e.g. ``42``
+    BASED_NUMBER = auto()    # sized/based number, e.g. ``4'b1010`` or ``'hFF``
+    REAL = auto()            # floating point literal
+    STRING = auto()          # double-quoted string
+
+    # Keywords
+    KEYWORD = auto()
+
+    # Punctuation
+    LPAREN = auto()
+    RPAREN = auto()
+    LBRACKET = auto()
+    RBRACKET = auto()
+    LBRACE = auto()
+    RBRACE = auto()
+    SEMICOLON = auto()
+    COLON = auto()
+    COMMA = auto()
+    DOT = auto()
+    AT = auto()
+    HASH = auto()
+    QUESTION = auto()
+
+    # Operators
+    OPERATOR = auto()
+
+    # End of stream
+    EOF = auto()
+
+
+#: Verilog-2001 keywords recognised by the lexer.  Identifiers matching one of
+#: these strings are emitted as ``KEYWORD`` tokens.
+KEYWORDS = frozenset(
+    {
+        "module", "endmodule", "input", "output", "inout",
+        "wire", "reg", "integer", "real", "parameter", "localparam",
+        "assign", "always", "initial", "begin", "end",
+        "if", "else", "case", "casex", "casez", "endcase", "default",
+        "for", "while", "repeat", "forever",
+        "posedge", "negedge", "or", "and", "not",
+        "function", "endfunction", "task", "endtask",
+        "generate", "endgenerate", "genvar",
+        "signed", "unsigned",
+        "supply0", "supply1",
+    }
+)
+
+#: Multi-character operators, longest first so that maximal munch works by
+#: simple ordered prefix matching.
+MULTI_CHAR_OPERATORS = (
+    "<<<", ">>>", "===", "!==",
+    "**", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "~&", "~|", "~^", "^~",
+    "+:", "-:",
+)
+
+#: Single character operators.
+SINGLE_CHAR_OPERATORS = "+-*/%<>!~&|^="
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes:
+        type: Lexical category.
+        value: Verbatim token text (normalised for based numbers: whitespace
+            between size, base and digits is removed).
+        line: 1-based source line.
+        column: 1-based source column of the first character.
+    """
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        """Return ``True`` if this token is the keyword ``word``."""
+        return self.type is TokenType.KEYWORD and self.value == word
+
+    def is_operator(self, op: str) -> bool:
+        """Return ``True`` if this token is the operator ``op``."""
+        return self.type is TokenType.OPERATOR and self.value == op
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.column})"

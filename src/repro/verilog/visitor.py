@@ -1,0 +1,113 @@
+"""Generic AST traversal utilities.
+
+Two traversal styles are provided:
+
+* :class:`NodeVisitor` — read-only, dispatches on node class name
+  (``visit_BinaryOp`` etc.), with a ``generic_visit`` fallback that walks
+  children.
+* :class:`NodeTransformer` — like :class:`NodeVisitor` but visit methods may
+  return a replacement node (or the original) and the transformer rewires the
+  tree accordingly.
+
+These mirror the familiar ``ast`` module design so the locking code reads
+naturally to Python developers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Optional, Tuple
+
+from . import ast_nodes as ast
+
+
+class NodeVisitor:
+    """Read-only visitor dispatching on node type name."""
+
+    def visit(self, node: ast.Node) -> Any:
+        """Visit ``node`` by dispatching to ``visit_<ClassName>`` if defined."""
+        method = getattr(self, f"visit_{type(node).__name__}", None)
+        if method is not None:
+            return method(node)
+        return self.generic_visit(node)
+
+    def generic_visit(self, node: ast.Node) -> None:
+        """Default behaviour: visit all children."""
+        for child in node.children():
+            self.visit(child)
+
+
+class NodeTransformer(NodeVisitor):
+    """Visitor whose visit methods may replace nodes.
+
+    A visit method should return the node that takes the place of its input
+    (commonly the same node after in-place mutation).  Returning ``None``
+    keeps the original node.
+    """
+
+    def generic_visit(self, node: ast.Node) -> ast.Node:
+        for field in node._fields:
+            value = getattr(node, field)
+            if isinstance(value, ast.Node):
+                replacement = self.visit(value)
+                if replacement is not None and replacement is not value:
+                    setattr(node, field, replacement)
+            elif isinstance(value, list):
+                for index, item in enumerate(value):
+                    if isinstance(item, ast.Node):
+                        replacement = self.visit(item)
+                        if replacement is not None and replacement is not item:
+                            value[index] = replacement
+        return node
+
+
+def walk(node: ast.Node) -> Iterator[ast.Node]:
+    """Yield ``node`` and all descendants in pre-order (like ``ast.walk``)."""
+    yield from node.iter_tree()
+
+
+def walk_with_parent(node: ast.Node,
+                     parent: Optional[ast.Node] = None
+                     ) -> Iterator[Tuple[ast.Node, Optional[ast.Node]]]:
+    """Yield ``(node, parent)`` pairs for the whole subtree in pre-order."""
+    yield node, parent
+    for child in node.children():
+        yield from walk_with_parent(child, node)
+
+
+def find_all(node: ast.Node, node_type: type) -> List[ast.Node]:
+    """Return every descendant of ``node`` (inclusive) of the given type."""
+    return [n for n in walk(node) if isinstance(n, node_type)]
+
+
+def find_parent_map(root: ast.Node) -> dict:
+    """Build an ``id(child) -> parent`` map for the whole tree.
+
+    The map is keyed by object identity because AST nodes are mutable and
+    generally unhashable by value.
+    """
+    parents: dict = {}
+    for child, parent in walk_with_parent(root):
+        if parent is not None:
+            parents[id(child)] = parent
+    return parents
+
+
+def replace_node(root: ast.Node, old: ast.Node, new: ast.Node) -> bool:
+    """Replace ``old`` (located by identity) with ``new`` anywhere under ``root``.
+
+    Returns ``True`` if the replacement happened.
+    """
+    for candidate, parent in walk_with_parent(root):
+        if candidate is old:
+            if parent is None:
+                raise ValueError("cannot replace the root node in place")
+            return parent.replace_child(old, new)
+    return False
+
+
+def count_nodes(root: ast.Node,
+                predicate: Optional[Callable[[ast.Node], bool]] = None) -> int:
+    """Count the nodes under ``root`` (inclusive), optionally filtered."""
+    if predicate is None:
+        return sum(1 for _ in walk(root))
+    return sum(1 for n in walk(root) if predicate(n))

@@ -1,0 +1,71 @@
+"""Unit tests for the KPA metric and aggregation helpers."""
+
+import pytest
+
+from repro.attacks.kpa import (
+    RANDOM_GUESS_KPA,
+    KpaAggregate,
+    KpaSample,
+    aggregate_by,
+    average_kpa,
+    kpa,
+)
+
+
+class TestKpa:
+    def test_extremes(self):
+        assert kpa([1, 1, 0], [1, 1, 0]) == 100.0
+        assert kpa([0, 0, 1], [1, 1, 0]) == 0.0
+
+    def test_partial(self):
+        assert kpa([1, 0, 1, 0], [1, 0, 0, 1]) == 50.0
+
+    def test_random_guess_reference(self):
+        assert RANDOM_GUESS_KPA == 50.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            kpa([], [])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            kpa([1, 0], [1])
+
+
+class TestAggregation:
+    def _samples(self):
+        return [
+            KpaSample("MD5", "assure", 80.0, 100),
+            KpaSample("MD5", "era", 50.0, 100),
+            KpaSample("SHA256", "assure", 70.0, 120),
+            KpaSample("SHA256", "era", 45.0, 120),
+        ]
+
+    def test_aggregate_from_values(self):
+        agg = KpaAggregate.from_values([40.0, 60.0])
+        assert agg.mean == 50.0
+        assert agg.minimum == 40.0
+        assert agg.maximum == 60.0
+        assert agg.count == 2
+
+    def test_aggregate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            KpaAggregate.from_values([])
+
+    def test_aggregate_by_algorithm(self):
+        result = aggregate_by(self._samples(), key="algorithm")
+        assert result["assure"].mean == 75.0
+        assert result["era"].mean == 47.5
+
+    def test_aggregate_by_benchmark(self):
+        result = aggregate_by(self._samples(), key="design_name")
+        assert result["MD5"].count == 2
+
+    def test_aggregate_invalid_key(self):
+        with pytest.raises(ValueError):
+            aggregate_by(self._samples(), key="model")
+
+    def test_average_kpa(self):
+        assert average_kpa({"MD5": 80.0, "SHA256": 70.0}) == 75.0
+        with pytest.raises(ValueError):
+            average_kpa({})

@@ -1,0 +1,82 @@
+"""Unit tests for training-set construction by self-referencing."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.attacks import LocalityExtractor, TrainingSetBuilder
+from repro.locking import AssureLocker, ERALocker
+
+
+class TestTrainingSetBuilder:
+    def test_unlocked_target_rejected(self, mixer_design, rng):
+        with pytest.raises(ValueError):
+            TrainingSetBuilder(rng=rng).build(mixer_design)
+
+    def test_invalid_round_count(self):
+        with pytest.raises(ValueError):
+            TrainingSetBuilder(rounds=0)
+
+    def test_training_set_size(self, mixer_design, rng):
+        target = AssureLocker("serial", rng=rng).lock(mixer_design, 5).design
+        training = TrainingSetBuilder(rounds=6, rng=random.Random(1)).build(target)
+        assert training.rounds == 6
+        assert training.bits_per_round == 5
+        assert training.size == 30
+        assert training.features.shape == (30, 2)
+        assert training.labels.shape == (30,)
+
+    def test_explicit_relock_budget(self, mixer_design, rng):
+        target = AssureLocker("serial", rng=rng).lock(mixer_design, 3).design
+        training = TrainingSetBuilder(rounds=4, relock_budget=2,
+                                      rng=random.Random(2)).build(target)
+        assert training.size == 8
+
+    def test_target_not_mutated(self, mixer_design, rng):
+        target = AssureLocker("serial", rng=rng).lock(mixer_design, 4).design
+        text_before = target.to_verilog()
+        TrainingSetBuilder(rounds=3, rng=random.Random(3)).build(target)
+        assert target.to_verilog() == text_before
+        assert target.key_width == 4
+
+    def test_labels_only_cover_new_bits(self, mixer_design, rng):
+        target = AssureLocker("serial", rng=rng).lock(mixer_design, 4).design
+        training = TrainingSetBuilder(rounds=5, rng=random.Random(4)).build(target)
+        # Training labels are the relocking keys, which are random: over 20
+        # samples both values should appear with overwhelming probability.
+        assert set(np.unique(training.labels)) == {0, 1}
+        assert 0.0 < training.label_balance() < 1.0
+
+    def test_feature_space_matches_extractor(self, mixer_design, rng):
+        target = AssureLocker("serial", rng=rng).lock(mixer_design, 3).design
+        extractor = LocalityExtractor("extended")
+        training = TrainingSetBuilder(extractor=extractor, rounds=2,
+                                      rng=random.Random(5)).build(target)
+        assert training.features.shape[1] == extractor.n_features
+
+
+class TestSignalContent:
+    def test_imbalanced_target_produces_biased_observations(self, plus_chain_design):
+        # On a +-only design locked by plain ASSURE the '+' appears as the
+        # real operation in the training set far more often than '-'.
+        target = AssureLocker("serial", rng=random.Random(0)).lock(
+            plus_chain_design, 4).design
+        training = TrainingSetBuilder(rounds=20, rng=random.Random(1)).build(target)
+        from repro.rtlir import encode_operator
+        plus, minus = encode_operator("+"), encode_operator("-")
+        real_ops = np.where(training.labels == 1,
+                            training.features[:, 0], training.features[:, 1])
+        plus_fraction = np.mean(real_ops == plus)
+        assert plus_fraction > 0.55
+
+    def test_era_balanced_target_produces_contradictory_observations(
+            self, plus_chain_design):
+        target = ERALocker(rng=random.Random(0)).lock(plus_chain_design, 6).design
+        training = TrainingSetBuilder(rounds=20, rng=random.Random(1)).build(target)
+        from repro.rtlir import encode_operator
+        plus = encode_operator("+")
+        real_ops = np.where(training.labels == 1,
+                            training.features[:, 0], training.features[:, 1])
+        plus_fraction = np.mean(real_ops == plus)
+        assert 0.35 < plus_fraction < 0.65

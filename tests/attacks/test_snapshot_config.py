@@ -1,0 +1,62 @@
+"""Tests for SnapShot configuration knobs (training-set capping, budgets)."""
+
+import random
+
+import pytest
+
+from repro.attacks import SnapShotAttack
+from repro.locking import AssureLocker
+from repro.ml import CategoricalNB, KNeighborsClassifier
+
+
+class TestTrainingSetCap:
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            SnapShotAttack(max_training_samples=0)
+
+    def test_large_training_set_is_subsampled(self, mixer_design, rng):
+        target = AssureLocker("serial", rng=rng).lock(mixer_design, 5).design
+        attack = SnapShotAttack(model=CategoricalNB(), rounds=10,
+                                max_training_samples=17,
+                                rng=random.Random(0))
+        training = attack.build_training_set(target)
+        assert training.size == 50  # the builder itself is not capped
+        model = attack.train_model(training)
+        # The model was fitted (on the capped subsample) and predicts bits.
+        predictions = attack.predict_key(model, target)
+        assert len(predictions) == 5
+
+    def test_cap_does_not_change_result_shape(self, mixer_design, rng):
+        target = AssureLocker("serial", rng=rng).lock(mixer_design, 5).design
+        capped = SnapShotAttack(model=CategoricalNB(), rounds=10,
+                                max_training_samples=20,
+                                rng=random.Random(1)).attack(target)
+        uncapped = SnapShotAttack(model=CategoricalNB(), rounds=10,
+                                  rng=random.Random(1)).attack(target)
+        assert capped.key_width == uncapped.key_width
+        assert 0.0 <= capped.kpa <= 100.0
+
+
+class TestExplicitRelockBudget:
+    def test_relock_budget_propagates_to_metadata(self, mixer_design, rng):
+        target = AssureLocker("serial", rng=rng).lock(mixer_design, 6).design
+        attack = SnapShotAttack(model=CategoricalNB(), rounds=5,
+                                relock_budget=3, rng=random.Random(2))
+        result = attack.attack(target)
+        assert result.metadata["relock_budget"] == 3
+        assert result.training_size == 15
+
+
+class TestKnnChunking:
+    def test_chunked_prediction_matches_unchunked(self):
+        import numpy as np
+        rng = np.random.default_rng(0)
+        features = rng.integers(0, 4, size=(600, 3)).astype(float)
+        labels = (features[:, 0] > 1).astype(int)
+        model = KNeighborsClassifier(n_neighbors=5).fit(features, labels)
+        # More query rows than the internal chunk size exercises the chunked
+        # code path; results must be identical to a single-shot computation.
+        queries = features[:300]
+        chunked = model.predict_proba(queries)
+        single = model._chunk_proba(queries)
+        assert np.allclose(chunked, single)

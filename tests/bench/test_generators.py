@@ -1,0 +1,94 @@
+"""Unit tests for the benchmark design generators."""
+
+import pytest
+
+from repro.bench.generators import alternating_network, plus_network, profile_design
+from repro.bench.profiles import BENCHMARK_PROFILES, BenchmarkProfile
+from repro.locking import odt_from_design
+from repro.rtlir import Design
+from repro.verilog.parser import parse
+
+
+class TestPlusNetwork:
+    def test_operation_count_exact(self):
+        design = plus_network(30)
+        assert design.operation_census() == {"+": 30}
+
+    def test_generated_verilog_reparses(self):
+        design = plus_network(10, width=16, n_inputs=4, name="small_plus")
+        source = parse(design.to_verilog())
+        assert source.top.name == "small_plus"
+
+    def test_fully_imbalanced(self):
+        odt = odt_from_design(plus_network(20))
+        assert odt["+"] == 20
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            plus_network(0)
+        with pytest.raises(ValueError):
+            plus_network(5, n_inputs=1)
+
+
+class TestAlternatingNetwork:
+    def test_balanced_counts(self):
+        design = alternating_network(12)
+        assert design.operation_census() == {"+": 12, "-": 12}
+
+    def test_fully_balanced_odt(self):
+        odt = odt_from_design(alternating_network(7))
+        assert odt["+"] == 0
+
+
+class TestProfileDesign:
+    @pytest.mark.parametrize("name", ["MD5", "FIR", "SASC"])
+    def test_census_matches_profile_exactly(self, name):
+        profile = BENCHMARK_PROFILES[name].scaled(0.3)
+        design = profile_design(profile, seed=0)
+        census = design.operation_census()
+        assert census == profile.operations
+
+    def test_seed_changes_structure_not_census(self):
+        profile = BENCHMARK_PROFILES["RSA"].scaled(0.2)
+        first = profile_design(profile, seed=1)
+        second = profile_design(profile, seed=2)
+        assert first.operation_census() == second.operation_census()
+        assert first.to_verilog() != second.to_verilog()
+
+    def test_same_seed_is_deterministic(self):
+        profile = BENCHMARK_PROFILES["IIR"].scaled(0.2)
+        first = profile_design(profile, seed=5)
+        second = profile_design(profile, seed=5)
+        assert first.to_verilog() == second.to_verilog()
+
+    def test_sequential_profile_has_register_stage(self):
+        profile = BENCHMARK_PROFILES["MD5"].scaled(0.1)
+        design = profile_design(profile, seed=0)
+        text = design.to_verilog()
+        assert "always @(posedge clk" in text
+        assert "state_q" in text
+
+    def test_combinational_profile_has_no_always_block(self):
+        profile = BenchmarkProfile("comb", "combinational", {"+": 5, "^": 3},
+                                   sequential=False)
+        design = profile_design(profile, seed=0)
+        assert "always" not in design.to_verilog()
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ValueError):
+            profile_design(BenchmarkProfile("empty", "none", {}))
+
+    def test_generated_design_is_lockable(self, rng):
+        from repro.locking import AssureLocker
+        profile = BENCHMARK_PROFILES["USB_PHY"].scaled(0.3)
+        design = profile_design(profile, seed=3)
+        result = AssureLocker("serial", rng=rng).lock(design, 10)
+        assert result.bits_used == 10
+
+    def test_relational_results_are_scalar_wires(self):
+        profile = BenchmarkProfile("cmp", "comparison heavy",
+                                   {"==": 3, "<": 2, "+": 2}, sequential=False)
+        design = profile_design(profile, seed=0)
+        text = design.to_verilog()
+        # Scalar comparison wires are declared without a range.
+        assert "wire n" in text

@@ -1,0 +1,89 @@
+"""Unit tests for benchmark profiles."""
+
+import pytest
+
+from repro.bench.profiles import (
+    BENCHMARK_PROFILES,
+    EVALUATION_ORDER,
+    SYNTHETIC_PROFILES,
+    BenchmarkProfile,
+    all_profiles,
+)
+from repro.rtlir.operations import LOCKABLE_OPERATORS
+
+
+class TestProfileCatalogue:
+    def test_all_fourteen_benchmarks_present(self):
+        assert len(EVALUATION_ORDER) == 14
+        profiles = all_profiles()
+        for name in EVALUATION_ORDER:
+            assert name in profiles
+
+    def test_paper_benchmark_names(self):
+        expected = {"DES3", "DFT", "FIR", "IDFT", "IIR", "MD5", "RSA", "SHA256",
+                    "SASC", "SIM_SPI", "USB_PHY", "I2C_SL"}
+        assert expected == set(BENCHMARK_PROFILES)
+
+    def test_synthetic_profiles_match_paper_definition(self):
+        n2046 = SYNTHETIC_PROFILES["N_2046"]
+        assert n2046.operations == {"+": 2046}
+        n1023 = SYNTHETIC_PROFILES["N_1023"]
+        assert n1023.operations == {"+": 1023, "-": 1023}
+
+    def test_profiles_use_only_lockable_operators(self):
+        for profile in all_profiles().values():
+            for op in profile.operations:
+                assert op in LOCKABLE_OPERATORS, (profile.name, op)
+
+    def test_crypto_cores_are_xor_add_heavy(self):
+        for name in ("DES3", "MD5", "SHA256"):
+            profile = BENCHMARK_PROFILES[name]
+            bitwise = sum(count for op, count in profile.operations.items()
+                          if op in ("^", "&", "|", "~^"))
+            assert bitwise + profile.operations.get("+", 0) > \
+                profile.total_operations / 2
+
+    def test_filters_are_mac_heavy(self):
+        for name in ("FIR", "IIR", "DFT", "IDFT"):
+            profile = BENCHMARK_PROFILES[name]
+            mac = profile.operations.get("*", 0) + profile.operations.get("+", 0)
+            assert mac > profile.total_operations / 2
+
+    def test_controllers_are_small_and_comparison_heavy(self):
+        for name in ("SASC", "SIM_SPI", "USB_PHY", "I2C_SL"):
+            profile = BENCHMARK_PROFILES[name]
+            assert profile.total_operations < 100
+            assert profile.operations.get("==", 0) > 0
+
+    def test_profiles_are_imbalanced(self):
+        # Every real benchmark must have at least one imbalanced pair,
+        # otherwise the paper's premise (ASSURE leaks on them) would not hold.
+        from repro.locking.pairs import SYMMETRIC_PAIR_TABLE
+        for profile in BENCHMARK_PROFILES.values():
+            imbalanced = False
+            for first, second in SYMMETRIC_PAIR_TABLE.unordered_pairs():
+                if profile.operations.get(first, 0) != profile.operations.get(second, 0):
+                    imbalanced = True
+            assert imbalanced, profile.name
+
+
+class TestScaling:
+    def test_scaled_preserves_operator_mix(self):
+        profile = BENCHMARK_PROFILES["MD5"]
+        scaled = profile.scaled(0.25)
+        assert set(scaled.operations) == set(profile.operations)
+        assert scaled.total_operations < profile.total_operations
+        for op, count in scaled.operations.items():
+            assert count >= 1
+
+    def test_scale_of_one_is_identity(self):
+        profile = BENCHMARK_PROFILES["FIR"]
+        assert profile.scaled(1.0).operations == profile.operations
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            BENCHMARK_PROFILES["FIR"].scaled(0.0)
+
+    def test_total_operations(self):
+        profile = BenchmarkProfile("t", "test", {"+": 2, "-": 3})
+        assert profile.total_operations == 5

@@ -1,0 +1,76 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.rtlir import Design
+
+#: A small but representative mixed-operation design used across test modules.
+MIXER_SOURCE = """
+module mixer (
+  input clk,
+  input rst_n,
+  input [7:0] a,
+  input [7:0] b,
+  input [7:0] c,
+  input [7:0] d,
+  output reg [7:0] y,
+  output [7:0] z
+);
+  wire [7:0] t1 = a + b;
+  wire [7:0] t2 = c + d;
+  wire [7:0] t3 = t1 + t2;
+  wire [7:0] t4 = a * c;
+  wire [7:0] t5 = b << 2;
+  wire [7:0] t6 = t4 ^ d;
+  assign z = t3 ^ t6;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      y <= 0;
+    else if (a > b)
+      y <= t3 - t5;
+    else
+      y <= t4 & d;
+  end
+endmodule
+"""
+
+#: A purely combinational adder chain (structurally regular, + only).
+PLUS_CHAIN_SOURCE = """
+module plus_chain (
+  input [7:0] i0,
+  input [7:0] i1,
+  input [7:0] i2,
+  input [7:0] i3,
+  output [7:0] out
+);
+  wire [7:0] s0 = i0 + i1;
+  wire [7:0] s1 = s0 + i2;
+  wire [7:0] s2 = s1 + i3;
+  wire [7:0] s3 = s2 + i0;
+  wire [7:0] s4 = s3 + i1;
+  wire [7:0] s5 = s4 + i2;
+  assign out = s5;
+endmodule
+"""
+
+
+@pytest.fixture
+def mixer_design() -> Design:
+    """A fresh mixed-operation design (8 lockable operations, several types)."""
+    return Design.from_verilog(MIXER_SOURCE, name="mixer")
+
+
+@pytest.fixture
+def plus_chain_design() -> Design:
+    """A fresh, fully imbalanced +-chain design (6 additions)."""
+    return Design.from_verilog(PLUS_CHAIN_SOURCE, name="plus_chain")
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministically seeded random source."""
+    return random.Random(1234)

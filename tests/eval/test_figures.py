@@ -1,0 +1,104 @@
+"""Unit tests for the figure data builders."""
+
+import numpy as np
+import pytest
+
+from repro.eval.figures import (
+    PAPER_AVERAGE_KPA,
+    ObservationPool,
+    TrajectoryData,
+    figure4_observation_analysis,
+    figure5_design,
+    figure5_surface,
+    figure5_trajectories,
+)
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def pools(self):
+        return figure4_observation_analysis(n_operations=48, training_rounds=8,
+                                            seed=0)
+
+    def test_all_scenarios_present(self, pools):
+        assert set(pools) == {"serial", "random", "random-no-overlap"}
+
+    def test_serial_observations_are_contradictory(self, pools):
+        serial = pools["serial"]
+        # Fig. 4e: '+' and '-' are (nearly) equally related to both key values.
+        assert serial.contradiction_ratio() > 0.5
+        assert 0.35 <= serial.real_operator_bias("+") <= 0.65
+        # The induced rule gives the attacker no reliable advantage.
+        assert serial.inferred_accuracy <= 0.75
+
+    def test_random_selection_leaks_partially(self, pools):
+        random_pool = pools["random"]
+        # Fig. 4f: '+' is *more likely* to be the real operation.
+        assert random_pool.real_operator_bias("+") > 0.55
+        assert 0.0 < random_pool.overlap_fraction < 1.0
+
+    def test_no_overlap_leaks_fully(self, pools):
+        clean = pools["random-no-overlap"]
+        # Fig. 4g: every observation names '+' as the correct operation and
+        # the attacker can infer the key.
+        assert clean.real_operator_bias("+") == pytest.approx(1.0)
+        assert clean.contradiction_ratio() == pytest.approx(0.0)
+        assert clean.overlap_fraction == pytest.approx(0.0)
+        assert clean.inferred_accuracy > 0.9
+
+    def test_leakage_ordering_matches_paper(self, pools):
+        assert pools["random-no-overlap"].real_operator_bias("+") >= \
+            pools["random"].real_operator_bias("+") >= \
+            pools["serial"].real_operator_bias("+") - 0.1
+
+    def test_empty_pool_defaults(self):
+        pool = ObservationPool("empty")
+        assert pool.contradiction_ratio() == 0.0
+        assert pool.real_operator_bias("+") == 0.0
+
+
+class TestFigure5:
+    def test_design_has_requested_imbalances(self):
+        design = figure5_design(25, 10)
+        census = design.operation_census()
+        assert census == {"+": 25, "<<": 10}
+
+    def test_surface_matches_paper_example(self):
+        surface = figure5_surface(25, 10)
+        assert surface.shape == (26, 11)
+        assert surface[0, 0] == 0.0
+        assert surface[-1, -1] == 100.0
+
+    def test_trajectories_shape(self):
+        trajectories = figure5_trajectories(10, 4, seed=0)
+        assert set(trajectories) == {"era", "hra", "greedy"}
+        for data in trajectories.values():
+            assert isinstance(data, TrajectoryData)
+            assert len(data.key_bits) == len(data.global_metric)
+            assert data.global_metric == sorted(data.global_metric)
+
+    def test_era_and_greedy_reach_full_security(self):
+        trajectories = figure5_trajectories(10, 4, seed=1)
+        assert trajectories["era"].global_metric[-1] == pytest.approx(100.0)
+        assert trajectories["greedy"].global_metric[-1] == pytest.approx(100.0)
+        assert trajectories["greedy"].bits_to_full_security is not None
+
+    def test_greedy_cheaper_or_equal_to_hra(self):
+        trajectories = figure5_trajectories(10, 4, seed=2)
+        greedy_bits = trajectories["greedy"].bits_to_full_security
+        hra_bits = trajectories["hra"].bits_to_full_security
+        assert greedy_bits is not None
+        if hra_bits is not None:
+            assert greedy_bits <= hra_bits
+
+    def test_era_restricted_metric_always_100(self):
+        trajectories = figure5_trajectories(8, 3, seed=3)
+        for value in trajectories["era"].restricted_metric:
+            assert value == pytest.approx(100.0)
+
+
+class TestPaperReference:
+    def test_paper_average_values_recorded(self):
+        assert PAPER_AVERAGE_KPA["assure"] == pytest.approx(74.78)
+        assert PAPER_AVERAGE_KPA["hra"] == pytest.approx(74.26)
+        assert PAPER_AVERAGE_KPA["era"] == pytest.approx(47.92)

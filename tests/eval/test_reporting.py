@@ -1,0 +1,57 @@
+"""Unit tests for the experiment report and shape checks."""
+
+from repro.eval.experiment import ExperimentConfig, SnapShotExperiment
+from repro.eval.reporting import ShapeCheck, experiment_report, shape_checks
+
+
+class TestShapeChecks:
+    def test_paper_like_numbers_pass_all_checks(self):
+        average = {"assure": 74.8, "hra": 74.3, "era": 47.9}
+        per_benchmark = {
+            "N_1023": {"assure": 52.0, "hra": 49.0, "era": 50.0},
+            "N_2046": {"assure": 99.0, "hra": 97.0, "era": 51.0},
+        }
+        checks = shape_checks(average, per_benchmark)
+        assert checks["era_random"].holds
+        assert checks["assure_above_era"].holds
+        assert checks["hra_above_era"].holds
+        assert checks["assure_hra_similar"].holds
+        assert checks["n1023_balanced"].holds
+        assert checks["n2046_worst_case"].holds
+
+    def test_broken_scheme_fails_checks(self):
+        average = {"assure": 52.0, "hra": 51.0, "era": 90.0}
+        checks = shape_checks(average)
+        assert not checks["era_random"].holds
+        assert not checks["assure_above_era"].holds
+
+    def test_missing_algorithms_produce_partial_checks(self):
+        checks = shape_checks({"era": 49.0})
+        assert "era_random" in checks
+        assert "assure_above_era" not in checks
+
+    def test_shape_check_text(self):
+        check = ShapeCheck("claim", True, "detail")
+        assert "OK" in check.to_text()
+        assert "claim" in check.to_text()
+        failing = ShapeCheck("claim", False, "detail")
+        assert "FAIL" in failing.to_text()
+
+
+class TestExperimentReport:
+    def test_report_contains_tables_and_checks(self):
+        config = ExperimentConfig(
+            benchmarks=["SASC"],
+            algorithms=("assure", "era"),
+            scale=0.15,
+            n_test_lockings=1,
+            relock_rounds=5,
+            automl_time_budget=1.0,
+            seed=7,
+        )
+        result = SnapShotExperiment(config).run()
+        report = experiment_report(result)
+        assert "Fig. 6a" in report
+        assert "Fig. 6b" in report
+        assert "Shape checks" in report
+        assert "SASC" in report

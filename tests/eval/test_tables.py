@@ -1,0 +1,61 @@
+"""Unit tests for the plain-text table rendering."""
+
+from repro.eval.figures import figure4_observation_analysis, figure5_trajectories
+from repro.eval.tables import (
+    average_kpa_text,
+    format_table,
+    kpa_table_text,
+    observation_table_text,
+    trajectory_table_text,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_float_formatting(self):
+        text = format_table(["name", "value"], [["a", 1.23456], ["bbbb", 7]],
+                            title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.23" in text
+        # Column separator positions line up across rows.
+        positions = {line.index("|") for line in lines[1:] if "|" in line}
+        assert len(positions) == 1
+
+    def test_without_title(self):
+        text = format_table(["x"], [[1]])
+        assert text.splitlines()[0].strip() == "x"
+
+
+class TestDomainTables:
+    def test_kpa_table_text(self):
+        table = {"MD5": {"assure": 80.0, "hra": 75.0, "era": 50.0},
+                 "FIR": {"assure": 70.0, "hra": 68.0, "era": 48.0}}
+        text = kpa_table_text(table)
+        assert "Fig. 6a" in text
+        assert "MD5" in text and "FIR" in text
+        assert "80.00" in text
+
+    def test_average_kpa_text_with_paper_reference(self):
+        text = average_kpa_text({"assure": 72.0, "era": 49.0},
+                                paper={"assure": 74.78, "era": 47.92})
+        assert "paper" in text
+        assert "74.78" in text
+
+    def test_average_kpa_text_without_reference(self):
+        text = average_kpa_text({"assure": 72.0})
+        assert "paper" not in text
+
+    def test_observation_table_text(self):
+        pools = figure4_observation_analysis(n_operations=16, training_rounds=3,
+                                             seed=0)
+        text = observation_table_text(pools)
+        assert "serial" in text
+        assert "random-no-overlap" in text
+        assert "contradiction ratio" in text
+
+    def test_trajectory_table_text(self):
+        trajectories = figure5_trajectories(6, 3, seed=0)
+        text = trajectory_table_text(trajectories)
+        assert "era" in text and "greedy" in text
+        assert "bits to M_g_sec=100" in text

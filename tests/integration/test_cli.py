@@ -1,0 +1,127 @@
+"""Integration tests for the repro-lock command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.rtlir import Design
+
+DESIGN_TEXT = """
+module cli_core (
+  input clk,
+  input [7:0] a,
+  input [7:0] b,
+  input [7:0] c,
+  output [7:0] y,
+  output reg [7:0] q
+);
+  wire [7:0] t0 = a + b;
+  wire [7:0] t1 = t0 + c;
+  wire [7:0] t2 = t1 * a;
+  wire [7:0] t3 = t2 - b;
+  wire [7:0] t4 = t3 ^ c;
+  wire [7:0] t5 = t4 << 1;
+  assign y = t5 | a;
+  always @(posedge clk) begin
+    if (t0 > t1)
+      q <= t2;
+    else
+      q <= t3;
+  end
+endmodule
+"""
+
+
+@pytest.fixture
+def design_file(tmp_path):
+    path = tmp_path / "cli_core.v"
+    path.write_text(DESIGN_TEXT)
+    return path
+
+
+class TestAnalyze:
+    def test_analyze_prints_report(self, design_file, capsys):
+        assert main(["analyze", str(design_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Design report: cli_core" in out
+        assert "Operation distribution table" in out
+
+    def test_missing_file_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["analyze", str(tmp_path / "nope.v")])
+
+
+class TestLockAndAttack:
+    def test_lock_writes_artifacts(self, design_file, tmp_path, capsys):
+        output = tmp_path / "locked.v"
+        key_file = tmp_path / "key.json"
+        code = main(["lock", str(design_file), "-a", "era",
+                     "--budget", "0.75", "-o", str(output),
+                     "--key-file", str(key_file), "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Locked cli_core with era" in out
+        assert output.exists() and key_file.exists()
+
+        metadata = json.loads(key_file.read_text())
+        assert metadata["key_width"] == len(metadata["bits"])
+        locked = Design.from_verilog(output.read_text())
+        port = locked.top.find_port(metadata["key_port"])
+        assert port is not None
+        assert port.width.width() == metadata["key_width"]
+
+    def test_lock_with_absolute_key_bits(self, design_file, tmp_path, capsys):
+        output = tmp_path / "locked.v"
+        code = main(["lock", str(design_file), "-a", "assure",
+                     "--key-bits", "3", "-o", str(output)])
+        assert code == 0
+        assert "3/3 key bits" in capsys.readouterr().out
+
+    def test_attack_roundtrip(self, design_file, tmp_path, capsys):
+        output = tmp_path / "locked.v"
+        key_file = tmp_path / "key.json"
+        main(["lock", str(design_file), "-a", "assure", "-o", str(output),
+              "--key-file", str(key_file), "--seed", "2"])
+        capsys.readouterr()
+
+        code = main(["attack", str(output), "--key-file", str(key_file),
+                     "--attack", "majority", "--rounds", "8", "--show-key",
+                     "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "KPA" in out
+        assert "Predicted key" in out
+
+    def test_attack_without_key_file_fails(self, design_file, capsys):
+        assert main(["attack", str(design_file)]) == 1
+        assert "key-file" in capsys.readouterr().err
+
+
+class TestBenchAndEvaluate:
+    def test_bench_list(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "N_2046" in out and "MD5" in out
+
+    def test_bench_emit_design(self, tmp_path, capsys):
+        output = tmp_path / "fir.v"
+        assert main(["bench", "FIR", "--scale", "0.2", "-o", str(output)]) == 0
+        assert output.exists()
+        design = Design.from_verilog(output.read_text())
+        assert design.num_operations() > 0
+
+    def test_bench_print_to_stdout(self, capsys):
+        assert main(["bench", "N_1023", "--scale", "0.01"]) == 0
+        assert "module N_1023" in capsys.readouterr().out
+
+    def test_evaluate_small_run(self, tmp_path, capsys):
+        report_file = tmp_path / "report.txt"
+        code = main(["evaluate", "--benchmarks", "SASC",
+                     "--algorithms", "assure", "era",
+                     "--scale", "0.15", "--samples", "1", "--rounds", "5",
+                     "--time-budget", "1.0", "-o", str(report_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Average KPA" in out
+        assert report_file.exists()

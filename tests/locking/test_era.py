@@ -1,0 +1,87 @@
+"""Unit tests for ERA (Exact ML-Resilient Algorithm)."""
+
+import random
+
+import pytest
+
+from repro.bench import alternating_network, plus_network
+from repro.locking import ERALocker, global_metric, odt_from_design, restricted_metric
+
+
+def affected_pairs_balanced(design):
+    """Check Definition 1 on a locked design: every affected pair is balanced."""
+    odt = odt_from_design(design)
+    affected_ops = set()
+    for bit in design.key_bits:
+        if bit.kind == "operation":
+            affected_ops.add(bit.real_op)
+            affected_ops.add(bit.dummy_op)
+    for first, second in odt.pairs():
+        if first in affected_ops or second in affected_ops:
+            if odt.value(first) != 0:
+                return False
+    return True
+
+
+class TestSecurityGuarantee:
+    def test_affected_pairs_balanced_on_mixer(self, mixer_design, rng):
+        result = ERALocker(rng=rng).lock(mixer_design, key_budget=6)
+        assert affected_pairs_balanced(result.design)
+        assert result.tracker.final_restricted == pytest.approx(100.0)
+
+    def test_affected_pairs_balanced_on_imbalanced_network(self, rng):
+        design = plus_network(24, name="plus24")
+        budget = int(0.75 * 24)
+        result = ERALocker(rng=rng).lock(design, key_budget=budget)
+        assert affected_pairs_balanced(result.design)
+        # For a pure +-network the whole design must end up balanced.
+        odt = odt_from_design(result.design)
+        assert odt.value("+") == 0
+
+    def test_guarantee_holds_for_many_seeds(self, mixer_design):
+        for seed in range(8):
+            result = ERALocker(rng=random.Random(seed)).lock(mixer_design, 5)
+            assert affected_pairs_balanced(result.design), f"seed {seed}"
+
+    def test_restricted_100_after_every_round(self, mixer_design, rng):
+        result = ERALocker(rng=rng).lock(mixer_design, key_budget=8)
+        assert result.tracker is not None
+        for point in result.tracker.points:
+            assert point.restricted_value == pytest.approx(100.0)
+
+
+class TestBudgetBehaviour:
+    def test_can_exceed_budget(self, rng):
+        # A fully imbalanced design forces ERA beyond a small budget: once it
+        # picks the (+,-) pair it must balance it completely.
+        design = plus_network(20, name="plus20")
+        result = ERALocker(rng=rng).lock(design, key_budget=5)
+        assert result.bits_used >= 5
+        assert result.bits_used <= 20
+        odt = odt_from_design(result.design)
+        assert odt.value("+") == 0
+
+    def test_balanced_design_uses_pairwise_steps(self, rng):
+        design = alternating_network(6, name="balanced12")
+        result = ERALocker(rng=rng).lock(design, key_budget=6)
+        # Balanced pairs are locked two bits at a time and stay balanced.
+        assert result.bits_used >= 6
+        assert odt_from_design(result.design).value("+") == 0
+
+    def test_zero_budget(self, mixer_design, rng):
+        result = ERALocker(rng=rng).lock(mixer_design, key_budget=0)
+        assert result.bits_used == 0
+
+    def test_negative_budget_rejected(self, mixer_design, rng):
+        with pytest.raises(ValueError):
+            ERALocker(rng=rng).lock(mixer_design, key_budget=-3)
+
+    def test_input_not_mutated(self, mixer_design, rng):
+        before = mixer_design.to_verilog()
+        ERALocker(rng=rng).lock(mixer_design, key_budget=4)
+        assert mixer_design.to_verilog() == before
+
+    def test_statistics_and_naming(self, mixer_design, rng):
+        result = ERALocker(rng=rng).lock(mixer_design, key_budget=4)
+        assert result.algorithm == "era"
+        assert result.statistics["rounds"] >= 1

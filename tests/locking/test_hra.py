@@ -1,0 +1,88 @@
+"""Unit tests for HRA (Heuristic ML-Resilient Algorithm) and the Greedy variant."""
+
+import random
+
+import pytest
+
+from repro.bench import plus_network
+from repro.eval.figures import figure5_design
+from repro.locking import GreedyLocker, HRALocker, global_metric, odt_from_design
+
+
+class TestBudgetDiscipline:
+    def test_budget_not_exceeded_by_more_than_one_step(self, mixer_design, rng):
+        budget = 6
+        result = HRALocker(rng=rng).lock(mixer_design, key_budget=budget)
+        # The last step may add two bits (pair mode), never more.
+        assert budget <= result.bits_used <= budget + 1
+
+    def test_zero_budget(self, mixer_design, rng):
+        result = HRALocker(rng=rng).lock(mixer_design, key_budget=0)
+        assert result.bits_used == 0
+
+    def test_negative_budget_rejected(self, mixer_design, rng):
+        with pytest.raises(ValueError):
+            HRALocker(rng=rng).lock(mixer_design, key_budget=-1)
+
+    def test_input_not_mutated(self, mixer_design, rng):
+        before = mixer_design.to_verilog()
+        HRALocker(rng=rng).lock(mixer_design, key_budget=5)
+        assert mixer_design.to_verilog() == before
+
+
+class TestMetricGuidance:
+    def test_global_metric_never_decreases(self, rng):
+        design = figure5_design(12, 5, seed=1)
+        result = HRALocker(rng=rng).lock(design, key_budget=30)
+        values = [p.global_value for p in result.tracker.points]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_hra_improves_over_initial(self, rng):
+        design = plus_network(16, name="plus16")
+        result = HRALocker(rng=rng).lock(design, key_budget=12)
+        assert result.tracker.final_global > 0.0
+
+    def test_greedy_reaches_full_security_with_exact_budget(self):
+        design = figure5_design(10, 4, seed=2)
+        result = GreedyLocker(rng=random.Random(0)).lock(design, key_budget=14)
+        assert result.tracker.final_global == pytest.approx(100.0)
+        assert result.bits_used == 14
+        assert odt_from_design(result.design).fully_balanced()
+
+    def test_greedy_never_uses_pair_mode(self, mixer_design):
+        result = GreedyLocker(rng=random.Random(1)).lock(mixer_design, key_budget=6)
+        assert result.statistics["random_steps"] == 0
+        assert result.algorithm == "greedy"
+
+    def test_hra_uses_random_steps_sometimes(self):
+        design = figure5_design(15, 8, seed=3)
+        result = HRALocker(rng=random.Random(2)).lock(design, key_budget=40)
+        assert result.statistics["random_steps"] > 0
+        assert result.algorithm == "hra"
+
+    def test_greedy_needs_no_more_bits_than_hra(self):
+        # Section 4.4: the greedy variant reaches full security with fewer (or
+        # equal) key bits than HRA's randomised walk.
+        design = figure5_design(12, 6, seed=4)
+        budget = 4 * (12 + 6)
+
+        def bits_to_full(locker):
+            result = locker.lock(design, key_budget=budget)
+            for point in result.tracker.points:
+                if point.global_value >= 100.0 - 1e-9:
+                    return point.key_bits
+            return budget + 1
+
+        greedy_bits = bits_to_full(GreedyLocker(rng=random.Random(5)))
+        hra_bits = bits_to_full(HRALocker(rng=random.Random(5)))
+        assert greedy_bits <= hra_bits
+
+    def test_hra_on_already_balanced_design_keeps_balance(self, rng):
+        from repro.bench import alternating_network
+        design = alternating_network(5, name="balanced10")
+        result = HRALocker(rng=rng).lock(design, key_budget=6)
+        assert odt_from_design(result.design).value("+") == 0
+
+    def test_tracking_disabled(self, mixer_design, rng):
+        result = HRALocker(rng=rng, track_metrics=False).lock(mixer_design, 4)
+        assert result.tracker is None

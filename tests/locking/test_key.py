@@ -1,0 +1,91 @@
+"""Unit tests for key utilities."""
+
+import random
+
+import pytest
+
+from repro.locking.key import (
+    flip_bits,
+    hamming_distance,
+    int_to_key,
+    key_accuracy,
+    key_to_int,
+    key_to_string,
+    random_key,
+    string_to_key,
+)
+
+
+class TestGeneration:
+    def test_random_key_width_and_values(self):
+        key = random_key(32, random.Random(0))
+        assert len(key) == 32
+        assert set(key) <= {0, 1}
+
+    def test_random_key_deterministic_with_seed(self):
+        assert random_key(16, random.Random(7)) == random_key(16, random.Random(7))
+
+    def test_zero_width(self):
+        assert random_key(0) == []
+
+    def test_negative_width_raises(self):
+        with pytest.raises(ValueError):
+            random_key(-1)
+
+
+class TestConversions:
+    def test_int_roundtrip(self):
+        bits = [1, 0, 1, 1, 0, 0, 1, 0]
+        assert int_to_key(key_to_int(bits), 8) == bits
+
+    def test_key_to_int_lsb_first(self):
+        assert key_to_int([1, 0, 0, 0]) == 1
+        assert key_to_int([0, 0, 0, 1]) == 8
+
+    def test_int_to_key_overflow(self):
+        with pytest.raises(ValueError):
+            int_to_key(16, 4)
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            key_to_int([0, 2, 1])
+
+    def test_string_roundtrip(self):
+        bits = [0, 1, 1, 0, 1]
+        assert string_to_key(key_to_string(bits)) == bits
+
+    def test_string_is_msb_first(self):
+        assert key_to_string([1, 0, 0]) == "001"
+        assert string_to_key("001") == [1, 0, 0]
+
+    def test_string_with_separators(self):
+        assert string_to_key("10_01") == [1, 0, 0, 1]
+
+    def test_invalid_string_rejected(self):
+        with pytest.raises(ValueError):
+            string_to_key("10x1")
+
+
+class TestComparison:
+    def test_hamming_distance(self):
+        assert hamming_distance([1, 0, 1], [1, 1, 1]) == 1
+        assert hamming_distance([0, 0], [1, 1]) == 2
+        assert hamming_distance([1], [1]) == 0
+
+    def test_hamming_distance_length_mismatch(self):
+        with pytest.raises(ValueError):
+            hamming_distance([1, 0], [1])
+
+    def test_key_accuracy(self):
+        assert key_accuracy([1, 0, 1, 1], [1, 0, 1, 1]) == 1.0
+        assert key_accuracy([1, 0, 1, 1], [0, 1, 0, 0]) == 0.0
+        assert key_accuracy([1, 0, 1, 1], [1, 0, 0, 0]) == 0.5
+
+    def test_key_accuracy_empty_raises(self):
+        with pytest.raises(ValueError):
+            key_accuracy([], [])
+
+    def test_flip_bits(self):
+        assert flip_bits([0, 0, 0], [0, 2]) == [1, 0, 1]
+        with pytest.raises(IndexError):
+            flip_bits([0, 0], [5])

@@ -1,0 +1,106 @@
+"""Unit tests for the common locking step (Algorithm 1)."""
+
+import pytest
+
+from repro.locking import LockingError, LockingSession, lock_step, undo_step
+from repro.rtlir import Design
+
+
+@pytest.fixture
+def imbalanced_session(rng):
+    design = Design.from_verilog("""
+    module imb (input [7:0] a, b, c, output [7:0] x, y);
+      wire [7:0] t0 = a + b;
+      wire [7:0] t1 = t0 + c;
+      wire [7:0] t2 = t1 + a;
+      wire [7:0] t3 = a - b;
+      assign x = t2;
+      assign y = t3;
+    endmodule
+    """)
+    return LockingSession(design, rng=rng)
+
+
+class TestPositiveImbalance:
+    def test_excess_type_gets_dummy_partner(self, imbalanced_session):
+        session = imbalanced_session
+        assert session.odt["+"] == 2
+        bits, actions = lock_step(session, "+", pair_mode=False)
+        assert bits == 1
+        assert len(actions) == 1
+        assert actions[0].real_op == "+"
+        assert actions[0].dummy_op == "-"
+        assert session.odt["+"] == 1
+
+    def test_repeated_steps_reach_balance(self, imbalanced_session):
+        session = imbalanced_session
+        total = 0
+        while abs(session.odt["+"]) > 0:
+            bits, _ = lock_step(session, "+")
+            total += bits
+        assert total == 2
+        assert session.odt.is_balanced("+")
+
+
+class TestNegativeImbalance:
+    def test_deficit_type_added_as_dummy(self, imbalanced_session):
+        session = imbalanced_session
+        # '-' is the under-represented type (ODT[-] == -2): a '-' dummy must be
+        # paired with an existing '+' operation.
+        assert session.odt["-"] == -2
+        bits, actions = lock_step(session, "-", pair_mode=False)
+        assert bits == 1
+        assert actions[0].real_op == "+"
+        assert actions[0].dummy_op == "-"
+        assert session.odt["-"] == -1
+
+
+class TestPairMode:
+    def test_pair_mode_locks_both_directions(self, imbalanced_session):
+        session = imbalanced_session
+        before = session.odt["+"]
+        bits, actions = lock_step(session, "+", pair_mode=True)
+        assert bits == 2
+        assert len(actions) == 2
+        # Balance is unchanged: one '+' dummy and one '-' dummy were added.
+        assert session.odt["+"] == before
+
+    def test_balanced_type_without_pair_mode_also_locks_both(self, rng):
+        design = Design.from_verilog("""
+        module bal (input [7:0] a, b, output [7:0] x, y);
+          wire [7:0] t0 = a + b;
+          wire [7:0] t1 = a - b;
+          assign x = t0;
+          assign y = t1;
+        endmodule
+        """)
+        session = LockingSession(design, rng=rng)
+        bits, _ = lock_step(session, "+", pair_mode=False)
+        assert bits == 2
+        assert session.odt.is_balanced("+")
+
+    def test_missing_operations_return_zero(self, imbalanced_session):
+        bits, actions = lock_step(imbalanced_session, "<<", pair_mode=True)
+        assert bits == 0
+        assert actions == []
+
+
+class TestUndoStep:
+    def test_undo_step_restores_everything(self, imbalanced_session):
+        session = imbalanced_session
+        design = session.design
+        text_before = design.to_verilog()
+        odt_before = session.odt["+"]
+        bits, actions = lock_step(session, "+", pair_mode=True)
+        assert bits == 2
+        undo_step(session, actions)
+        assert design.to_verilog() == text_before
+        assert session.odt["+"] == odt_before
+        assert design.key_width == 0
+
+    def test_inconsistent_odt_detected(self, imbalanced_session):
+        session = imbalanced_session
+        # Corrupt the ODT so it claims an excess of '<<' with no such ops.
+        session.odt.add_operation("<<", mark_affected=False)
+        with pytest.raises(LockingError):
+            lock_step(session, "<<", pair_mode=False)

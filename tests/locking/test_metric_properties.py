@@ -1,0 +1,113 @@
+"""Property-based tests for the security metrics (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.locking.metrics import (
+    metric_surface,
+    modified_euclidean,
+    security_metric,
+)
+from repro.locking.odt import OperationDistributionTable
+from repro.locking.metrics import global_metric
+
+_vectors = st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=8)
+
+
+class TestModifiedEuclideanProperties:
+    @given(_vectors)
+    @settings(max_examples=100, deadline=None)
+    def test_non_negative_and_zero_on_identity(self, vector):
+        arr = [float(v) for v in vector]
+        assert modified_euclidean(arr, arr) == 0.0
+        assert modified_euclidean(arr, [0.0] * len(arr)) >= 0.0
+
+    @given(_vectors)
+    @settings(max_examples=100, deadline=None)
+    def test_matches_numpy_norm_without_exclusions(self, vector):
+        arr = np.array(vector, dtype=float)
+        assert modified_euclidean(arr, np.zeros_like(arr)) == \
+            np.linalg.norm(arr)
+
+    @given(_vectors, st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_excluding_entries_never_increases_distance(self, vector, data):
+        arr = np.array(vector, dtype=float)
+        optimal = np.zeros_like(arr)
+        mask_indices = data.draw(st.sets(
+            st.integers(0, len(vector) - 1), max_size=len(vector)))
+        masked = optimal.copy()
+        for index in mask_indices:
+            masked[index] = np.nan
+        assert modified_euclidean(arr, masked) <= modified_euclidean(arr, optimal) + 1e-12
+
+
+class TestSecurityMetricProperties:
+    @given(_vectors, _vectors)
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_between_0_and_100(self, initial, current):
+        size = min(len(initial), len(current))
+        value = security_metric([float(v) for v in initial[:size]],
+                                [float(v) for v in current[:size]])
+        assert 0.0 <= value <= 100.0
+
+    @given(_vectors)
+    @settings(max_examples=100, deadline=None)
+    def test_initial_scores_zero_unless_already_optimal(self, initial):
+        arr = [float(v) for v in initial]
+        value = security_metric(arr, arr)
+        if all(v == 0 for v in initial):
+            assert value == 100.0
+        else:
+            assert value == 0.0
+
+    @given(_vectors)
+    @settings(max_examples=100, deadline=None)
+    def test_optimal_scores_hundred(self, initial):
+        arr = [float(v) for v in initial]
+        assert security_metric(arr, [0.0] * len(arr)) == 100.0
+
+    @given(st.integers(1, 30), st.integers(1, 30), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_each_balancing_step(self, first, second, data):
+        initial = [float(first), float(second)]
+        step_first = data.draw(st.integers(0, first))
+        step_second = data.draw(st.integers(0, second))
+        partial = [float(first - step_first), float(second - step_second)]
+        more_first = data.draw(st.integers(0, first - step_first))
+        further = [float(first - step_first - more_first), partial[1]]
+        assert security_metric(initial, further) >= \
+            security_metric(initial, partial) - 1e-9
+
+
+class TestGlobalMetricProperties:
+    @given(st.dictionaries(st.sampled_from(["+", "-", "*", "/", "<<", ">>"]),
+                           st.integers(0, 20), min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_global_metric_monotone_under_balancing(self, census):
+        odt = OperationDistributionTable(census)
+        initial = odt.vector()
+        previous = global_metric(odt, initial)
+        # Repeatedly add a dummy of the under-represented type of the most
+        # imbalanced pair; the global metric must never decrease.
+        for _ in range(10):
+            worst = max(odt.pairs(), key=lambda pair: abs(odt.value(pair[0])))
+            if odt.value(worst[0]) == 0:
+                break
+            deficit_op = worst[1] if odt.value(worst[0]) > 0 else worst[0]
+            odt.add_operation(deficit_op)
+            current = global_metric(odt, initial)
+            assert current >= previous - 1e-9
+            previous = current
+
+
+class TestSurfaceProperties:
+    @given(st.integers(1, 20), st.integers(1, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_surface_corners(self, first, second):
+        surface = metric_surface([first, second])
+        assert surface[0, 0] == 0.0
+        assert surface[first, second] == 100.0
+        assert surface.min() >= 0.0
+        assert surface.max() <= 100.0

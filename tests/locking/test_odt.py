@@ -1,0 +1,134 @@
+"""Unit tests for the operation distribution table."""
+
+import numpy as np
+import pytest
+
+from repro.locking.odt import OperationDistributionTable, odt_from_design
+from repro.locking.pairs import ORIGINAL_ASSURE_TABLE, make_symmetric
+
+
+def make_odt(census):
+    return OperationDistributionTable(census)
+
+
+class TestValues:
+    def test_paper_example(self):
+        # "a design with 7 '+' and 5 '-' has ODT[+] = +2 and ODT[-] = -2"
+        odt = make_odt({"+": 7, "-": 5})
+        assert odt["+"] == 2
+        assert odt["-"] == -2
+
+    def test_value_antisymmetry(self):
+        odt = make_odt({"*": 3, "/": 9, "<<": 2})
+        assert odt["*"] == -odt["/"]
+        assert odt["<<"] == -odt[">>"]
+
+    def test_missing_operators_default_to_zero(self):
+        odt = make_odt({})
+        assert odt["%"] == 0
+        assert odt.count("%") == 0
+
+    def test_unpaired_operators_tracked_separately(self):
+        odt = make_odt({"&&": 4, "+": 1})
+        assert odt.count("&&") == 0  # not part of any pair
+        assert "unpaired" in odt.to_text()
+
+    def test_from_design(self, mixer_design):
+        odt = odt_from_design(mixer_design)
+        assert odt["+"] == 2   # 3 '+' vs 1 '-'
+        assert odt["*"] == 1
+        assert odt["^"] == 2
+
+
+class TestMutation:
+    def test_add_and_remove_roundtrip(self):
+        odt = make_odt({"+": 3, "-": 1})
+        odt.add_operation("-")
+        assert odt["+"] == 1
+        odt.remove_operation("-")
+        assert odt["+"] == 2
+
+    def test_remove_below_zero_raises(self):
+        odt = make_odt({"+": 1})
+        with pytest.raises(ValueError):
+            odt.remove_operation("-")
+
+    def test_affected_tracking(self):
+        odt = make_odt({"+": 3, "-": 1, "*": 2})
+        assert odt.affected_pairs() == []
+        odt.add_operation("-")
+        assert ("+", "-") in odt.affected_pairs() or ("-", "+") in odt.affected_pairs()
+        assert odt.is_affected("+")
+        assert not odt.is_affected("*")
+        odt.clear_affected()
+        assert odt.affected_pairs() == []
+
+    def test_add_without_marking_affected(self):
+        odt = make_odt({"+": 1})
+        odt.add_operation("-", mark_affected=False)
+        assert not odt.is_affected("+")
+
+
+class TestBalanceQueries:
+    def test_is_balanced(self):
+        odt = make_odt({"+": 2, "-": 2, "*": 1})
+        assert odt.is_balanced("+")
+        assert not odt.is_balanced("*")
+
+    def test_fully_balanced_global_and_affected(self):
+        odt = make_odt({"+": 2, "-": 2, "*": 1})
+        assert not odt.fully_balanced()
+        assert odt.fully_balanced(affected_only=True)  # nothing affected yet
+        odt.mark_affected("*")
+        assert not odt.fully_balanced(affected_only=True)
+        odt.add_operation("/")
+        assert odt.fully_balanced(affected_only=True)
+
+    def test_imbalance_summary(self):
+        odt = make_odt({"+": 5, "-": 2})
+        summary = odt.imbalance_summary()
+        assert summary[("+", "-")] == 3
+
+
+class TestVectors:
+    def test_vector_absolute_values(self):
+        odt = make_odt({"+": 7, "-": 5, "<<": 1, ">>": 4})
+        order = [("+", "-"), ("<<", ">>")]
+        assert np.allclose(odt.vector(order), [2.0, 3.0])
+
+    def test_optimal_vector_global(self):
+        odt = make_odt({"+": 7, "-": 5})
+        optimal = odt.optimal_vector(restricted=False)
+        assert np.allclose(optimal, np.zeros(len(odt.pairs())))
+
+    def test_optimal_vector_restricted_uses_nan_markers(self):
+        odt = make_odt({"+": 7, "-": 5, "*": 2})
+        odt.mark_affected("+")
+        optimal = odt.optimal_vector(restricted=True)
+        pair_order = odt.pairs()
+        for position, (first, _second) in enumerate(pair_order):
+            if first in ("+", "-"):
+                assert optimal[position] == 0.0
+            else:
+                assert np.isnan(optimal[position])
+
+    def test_copy_is_independent(self):
+        odt = make_odt({"+": 3})
+        clone = odt.copy()
+        clone.add_operation("-")
+        assert odt["+"] == 3
+        assert clone["+"] == 2
+
+
+class TestAlternativeTables:
+    def test_custom_table(self):
+        table = make_symmetric([("+", "-")], name="tiny")
+        odt = OperationDistributionTable({"+": 4, "-": 1, "*": 7}, table)
+        assert odt["+"] == 3
+        assert len(odt.pairs()) == 1
+
+    def test_asymmetric_table_still_supported(self):
+        odt = OperationDistributionTable({"*": 2, "+": 5, "-": 1},
+                                         ORIGINAL_ASSURE_TABLE)
+        # With the original table '*' pairs with '+'.
+        assert odt["*"] == 2 - 5

@@ -1,0 +1,65 @@
+"""Unit tests for design-level analysis and reporting."""
+
+from repro.locking import AssureLocker, ERALocker
+from repro.rtlir import analyze_design, class_census, pair_imbalances
+
+
+class TestPairImbalance:
+    def test_imbalance_values(self):
+        census = {"+": 7, "-": 5, "*": 2}
+        imbalances = pair_imbalances(census, [("+", "-"), ("*", "/")])
+        plus = imbalances[0]
+        assert plus.imbalance == 2
+        assert plus.total == 12
+        assert not plus.is_balanced
+        mult = imbalances[1]
+        assert mult.imbalance == 2
+        assert mult.count_second == 0
+
+    def test_balanced_pair(self):
+        imbalances = pair_imbalances({"<<": 4, ">>": 4}, [("<<", ">>")])
+        assert imbalances[0].is_balanced
+        assert imbalances[0].imbalance == 0
+
+
+class TestClassCensus:
+    def test_aggregation(self):
+        census = {"+": 3, "-": 1, "<<": 2, "&": 1, "<": 1, "&&": 1}
+        classes = class_census(census)
+        assert classes["arithmetic"] == 4
+        assert classes["shift"] == 2
+        assert classes["bitwise"] == 1
+        assert classes["relational"] == 1
+        assert classes["other"] == 1
+
+
+class TestDesignReport:
+    def test_report_contents(self, mixer_design):
+        report = analyze_design(mixer_design)
+        assert report.name == "mixer"
+        assert report.num_operations == 10
+        assert report.key_width == 0
+        assert report.census["+"] == 3
+        pair_map = {(p.first, p.second): p for p in report.pair_imbalances}
+        assert pair_map[("+", "-")].imbalance == 2
+
+    def test_report_text_rendering(self, mixer_design):
+        text = analyze_design(mixer_design).to_text()
+        assert "Design report: mixer" in text
+        assert "lockable operations : 10" in text
+        assert "pair imbalances" in text
+
+    def test_locked_design_report_counts_dummies(self, mixer_design, rng):
+        locked = AssureLocker("serial", rng=rng).lock(mixer_design, 3).design
+        report = analyze_design(locked)
+        assert report.key_width == 3
+        assert report.num_operations == mixer_design.num_operations() + 3
+
+    def test_era_locked_design_is_balanced_in_report(self, mixer_design, rng):
+        locked = ERALocker(rng=rng).lock(mixer_design, 8).design
+        report = analyze_design(locked)
+        affected_ops = {bit.real_op for bit in locked.key_bits} | \
+                       {bit.dummy_op for bit in locked.key_bits}
+        for pair in report.pair_imbalances:
+            if pair.first in affected_ops or pair.second in affected_ops:
+                assert pair.is_balanced

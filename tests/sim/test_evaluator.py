@@ -1,0 +1,110 @@
+"""Unit tests for the expression evaluator."""
+
+import pytest
+
+from repro.sim import ExpressionEvaluator, SimulationError, mask
+from repro.verilog.parser import parse_expression
+
+
+@pytest.fixture
+def evaluator():
+    return ExpressionEvaluator(widths={"a": 8, "b": 8, "c": 4, "flag": 1},
+                               default_width=16)
+
+
+def ev(evaluator, text, **env):
+    return evaluator.evaluate(parse_expression(text), env)
+
+
+class TestMask:
+    def test_mask_truncates(self):
+        assert mask(0x1FF, 8) == 0xFF
+        assert mask(-1, 4) == 0xF
+        assert mask(5, 8) == 5
+
+    def test_invalid_width(self):
+        with pytest.raises(SimulationError):
+            mask(1, 0)
+
+
+class TestArithmetic:
+    def test_basic_arithmetic(self, evaluator):
+        assert ev(evaluator, "a + b", a=10, b=20) == 30
+        assert ev(evaluator, "a - b", a=10, b=3) == 7
+        assert ev(evaluator, "a * b", a=6, b=7) == 42
+        assert ev(evaluator, "a / b", a=42, b=5) == 8
+        assert ev(evaluator, "a % b", a=42, b=5) == 2
+
+    def test_subtraction_wraps_unsigned(self, evaluator):
+        assert ev(evaluator, "a - b", a=1, b=2) == mask(-1, 16)
+
+    def test_division_by_zero_is_zero(self, evaluator):
+        assert ev(evaluator, "a / b", a=9, b=0) == 0
+        assert ev(evaluator, "a % b", a=9, b=0) == 0
+
+    def test_power(self, evaluator):
+        assert ev(evaluator, "a ** c", a=2, c=5) == 32
+
+    def test_shifts(self, evaluator):
+        assert ev(evaluator, "a << c", a=3, c=2) == 12
+        assert ev(evaluator, "a >> c", a=12, c=2) == 3
+
+
+class TestBitwiseAndRelational:
+    def test_bitwise(self, evaluator):
+        assert ev(evaluator, "a & b", a=0b1100, b=0b1010) == 0b1000
+        assert ev(evaluator, "a | b", a=0b1100, b=0b1010) == 0b1110
+        assert ev(evaluator, "a ^ b", a=0b1100, b=0b1010) == 0b0110
+
+    def test_relational(self, evaluator):
+        assert ev(evaluator, "a < b", a=1, b=2) == 1
+        assert ev(evaluator, "a >= b", a=2, b=2) == 1
+        assert ev(evaluator, "a == b", a=5, b=5) == 1
+        assert ev(evaluator, "a != b", a=5, b=5) == 0
+
+    def test_logical(self, evaluator):
+        assert ev(evaluator, "a && b", a=3, b=0) == 0
+        assert ev(evaluator, "a || b", a=0, b=7) == 1
+
+    def test_unary(self, evaluator):
+        assert ev(evaluator, "!a", a=0) == 1
+        assert ev(evaluator, "~a", a=0) == mask(-1, 16)
+        assert ev(evaluator, "-a", a=1) == mask(-1, 16)
+
+    def test_reductions(self, evaluator):
+        assert ev(evaluator, "&a", a=0xFF) == 1
+        assert ev(evaluator, "&a", a=0xFE) == 0
+        assert ev(evaluator, "|a", a=0) == 0
+        assert ev(evaluator, "^a", a=0b0111) == 1
+
+
+class TestStructural:
+    def test_ternary(self, evaluator):
+        assert ev(evaluator, "flag ? a : b", flag=1, a=10, b=20) == 10
+        assert ev(evaluator, "flag ? a : b", flag=0, a=10, b=20) == 20
+
+    def test_sized_literals(self, evaluator):
+        assert ev(evaluator, "8'hFF + 1") == 256
+        assert ev(evaluator, "4'b1010") == 10
+
+    def test_concat_and_replication(self, evaluator):
+        assert ev(evaluator, "{c, c}", c=0xA) == 0xAA
+        assert ev(evaluator, "{2{c}}", c=0x3) == 0x33
+
+    def test_selects(self, evaluator):
+        assert ev(evaluator, "a[0]", a=0b1011) == 1
+        assert ev(evaluator, "a[2]", a=0b1011) == 0
+        assert ev(evaluator, "a[3:1]", a=0b1011) == 0b101
+        assert ev(evaluator, "a[0 +: 4]", a=0xAB) == 0xB
+
+    def test_identifier_masked_to_width(self, evaluator):
+        # 'c' is 4 bits wide; larger environment values are truncated.
+        assert ev(evaluator, "c", c=0x1F) == 0xF
+
+    def test_missing_signal_raises(self, evaluator):
+        with pytest.raises(SimulationError):
+            ev(evaluator, "zz + 1")
+
+    def test_x_literal_raises(self, evaluator):
+        with pytest.raises(SimulationError):
+            ev(evaluator, "4'b10xx + 1")

@@ -1,0 +1,46 @@
+"""Sanity checks on the public API surface of every subpackage."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = ["verilog", "rtlir", "locking", "ml", "attacks", "bench", "eval"]
+
+
+class TestPublicApi:
+    def test_version_is_exposed(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_subpackage_importable(self, name):
+        module = importlib.import_module(f"repro.{name}")
+        assert module is not None
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_all_exports_resolve(self, name):
+        module = importlib.import_module(f"repro.{name}")
+        exported = getattr(module, "__all__", [])
+        assert exported, f"repro.{name} must export a public API"
+        for symbol in exported:
+            assert hasattr(module, symbol), f"repro.{name}.{symbol} missing"
+
+    def test_headline_classes_reachable_from_top_level_packages(self):
+        from repro.attacks import SnapShotAttack
+        from repro.bench import load_benchmark
+        from repro.locking import AssureLocker, ERALocker, HRALocker
+        from repro.rtlir import Design
+
+        assert callable(load_benchmark)
+        for cls in (SnapShotAttack, AssureLocker, ERALocker, HRALocker, Design):
+            assert isinstance(cls, type)
+
+    def test_cli_parser_builds(self):
+        from repro.cli import build_parser
+        parser = build_parser()
+        commands = {"analyze", "lock", "attack", "bench", "evaluate"}
+        help_text = parser.format_help()
+        for command in commands:
+            assert command in help_text

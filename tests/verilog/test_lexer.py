@@ -1,0 +1,130 @@
+"""Unit tests for the Verilog lexer."""
+
+import pytest
+
+from repro.verilog.errors import LexerError
+from repro.verilog.lexer import Lexer, tokenize
+from repro.verilog.tokens import Token, TokenType
+
+
+def kinds(text):
+    return [t.type for t in tokenize(text) if t.type is not TokenType.EOF]
+
+
+def values(text):
+    return [t.value for t in tokenize(text) if t.type is not TokenType.EOF]
+
+
+class TestBasicTokens:
+    def test_keywords_are_classified(self):
+        tokens = tokenize("module endmodule assign always begin end")
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers(self):
+        assert kinds("foo _bar baz123 $display") == [TokenType.IDENTIFIER] * 4
+
+    def test_escaped_identifier(self):
+        tokens = tokenize(r"\my-net+1 other")
+        assert tokens[0].type is TokenType.IDENTIFIER
+        assert tokens[0].value == "my-net+1"
+        assert tokens[1].value == "other"
+
+    def test_plain_numbers(self):
+        assert kinds("42 1_000") == [TokenType.NUMBER, TokenType.NUMBER]
+
+    def test_based_numbers(self):
+        tokens = tokenize("4'b1010 8'hFF 'd15 12'o777 4'sb1010")
+        assert all(t.type is TokenType.BASED_NUMBER for t in tokens[:-1])
+
+    def test_based_number_with_space_between_size_and_base(self):
+        tokens = tokenize("4 'b1010")
+        assert tokens[0].type is TokenType.NUMBER
+        assert tokens[1].type is TokenType.BASED_NUMBER
+
+    def test_real_literal(self):
+        tokens = tokenize("3.14")
+        assert tokens[0].type is TokenType.REAL
+
+    def test_string_literal(self):
+        tokens = tokenize('"hello world"')
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "hello world"
+
+    def test_punctuation(self):
+        expected = [TokenType.LPAREN, TokenType.RPAREN, TokenType.LBRACKET,
+                    TokenType.RBRACKET, TokenType.LBRACE, TokenType.RBRACE,
+                    TokenType.SEMICOLON, TokenType.COLON, TokenType.COMMA,
+                    TokenType.DOT, TokenType.AT, TokenType.HASH,
+                    TokenType.QUESTION]
+        assert kinds("( ) [ ] { } ; : , . @ # ?") == expected
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["+", "-", "*", "/", "%", "<", ">", "!", "~",
+                                    "&", "|", "^", "="])
+    def test_single_char_operators(self, op):
+        tokens = tokenize(f"a {op} b")
+        assert tokens[1].type is TokenType.OPERATOR
+        assert tokens[1].value == op
+
+    @pytest.mark.parametrize("op", ["<<", ">>", "<<<", ">>>", "<=", ">=", "==",
+                                    "!=", "===", "!==", "&&", "||", "**", "~&",
+                                    "~|", "~^", "^~"])
+    def test_multi_char_operators(self, op):
+        tokens = tokenize(f"a {op} b")
+        assert tokens[1].type is TokenType.OPERATOR
+        assert tokens[1].value == op
+
+    def test_maximal_munch(self):
+        # "<<<" must not tokenize as "<<" then "<".
+        assert values("a <<< 2")[1] == "<<<"
+
+
+class TestIgnorables:
+    def test_line_comment(self):
+        assert values("a // comment with ; tokens\n+ b") == ["a", "+", "b"]
+
+    def test_block_comment(self):
+        assert values("a /* multi\nline */ + b") == ["a", "+", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("a /* never closed")
+
+    def test_compiler_directive_skipped(self):
+        assert values("`timescale 1ns/1ps\nwire x;") == ["wire", "x", ";"]
+
+    def test_attribute_instance_skipped(self):
+        assert values("(* keep = 1 *) wire x;") == ["wire", "x", ";"]
+
+    def test_whitespace_only(self):
+        tokens = tokenize("   \n\t  ")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+
+class TestLocations:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("wire x;\n  assign y = x;")
+        assign = [t for t in tokens if t.value == "assign"][0]
+        assert assign.line == 2
+        assert assign.column == 3
+
+    def test_error_reports_position(self):
+        with pytest.raises(LexerError) as excinfo:
+            tokenize('wire x;\nwire "unterminated')
+        assert excinfo.value.line == 2
+
+
+class TestTokenHelpers:
+    def test_is_keyword_and_is_operator(self):
+        token = Token(TokenType.KEYWORD, "module", 1, 1)
+        assert token.is_keyword("module")
+        assert not token.is_keyword("wire")
+        op = Token(TokenType.OPERATOR, "+", 1, 1)
+        assert op.is_operator("+")
+        assert not op.is_operator("-")
+
+    def test_eof_always_last(self):
+        tokens = tokenize("a + b")
+        assert tokens[-1].type is TokenType.EOF

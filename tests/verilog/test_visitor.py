@@ -1,0 +1,103 @@
+"""Unit tests for the AST traversal utilities."""
+
+from repro.verilog import ast
+from repro.verilog.parser import parse_expression, parse_module
+from repro.verilog.visitor import (
+    NodeTransformer,
+    NodeVisitor,
+    count_nodes,
+    find_all,
+    find_parent_map,
+    replace_node,
+    walk,
+    walk_with_parent,
+)
+
+from ..conftest import MIXER_SOURCE
+
+
+class TestWalk:
+    def test_walk_yields_all_binary_ops(self):
+        expr = parse_expression("a + b * c - d")
+        ops = [n.op for n in walk(expr) if isinstance(n, ast.BinaryOp)]
+        assert sorted(ops) == ["*", "+", "-"]
+
+    def test_walk_with_parent_pairs(self):
+        expr = parse_expression("a + b")
+        pairs = list(walk_with_parent(expr))
+        assert pairs[0] == (expr, None)
+        children_parents = {id(node): parent for node, parent in pairs[1:]}
+        assert children_parents[id(expr.left)] is expr
+        assert children_parents[id(expr.right)] is expr
+
+    def test_find_all(self):
+        module = parse_module(MIXER_SOURCE)
+        assigns = find_all(module, ast.ContinuousAssign)
+        assert len(assigns) == 1
+        identifiers = find_all(module, ast.Identifier)
+        assert len(identifiers) > 10
+
+    def test_count_nodes_with_predicate(self):
+        expr = parse_expression("a + b + c")
+        total = count_nodes(expr)
+        adds = count_nodes(expr, lambda n: isinstance(n, ast.BinaryOp))
+        assert total == 5
+        assert adds == 2
+
+
+class TestParentMap:
+    def test_parent_map_covers_all_non_root_nodes(self):
+        module = parse_module(MIXER_SOURCE)
+        parents = find_parent_map(module)
+        all_nodes = list(walk(module))
+        assert len(parents) == len(all_nodes) - 1
+
+    def test_replace_node(self):
+        expr = parse_expression("a + b")
+        new = ast.Identifier("c")
+        assert replace_node(expr, expr.right, new)
+        assert expr.right is new
+
+    def test_replace_node_missing_returns_false(self):
+        expr = parse_expression("a + b")
+        stray = ast.Identifier("zzz")
+        assert replace_node(expr, stray, ast.Identifier("w")) is False
+
+
+class TestVisitors:
+    def test_node_visitor_dispatch(self):
+        class Counter(NodeVisitor):
+            def __init__(self):
+                self.adds = 0
+
+            def visit_BinaryOp(self, node):
+                if node.op == "+":
+                    self.adds += 1
+                self.generic_visit(node)
+
+        counter = Counter()
+        counter.visit(parse_module(MIXER_SOURCE))
+        assert counter.adds == 3
+
+    def test_node_transformer_replaces(self):
+        class PlusToMinus(NodeTransformer):
+            def visit_BinaryOp(self, node):
+                self.generic_visit(node)
+                if node.op == "+":
+                    return ast.BinaryOp("-", node.left, node.right)
+                return node
+
+        expr = parse_expression("a + (b + c)")
+        transformed = PlusToMinus().visit(expr)
+        ops = [n.op for n in walk(transformed) if isinstance(n, ast.BinaryOp)]
+        assert ops == ["-", "-"]
+
+    def test_replace_child_in_list_field(self):
+        concat = parse_expression("{a, b, c}")
+        new = ast.Identifier("z")
+        assert concat.replace_child(concat.parts[1], new)
+        assert concat.parts[1] is new
+
+    def test_replace_child_not_found(self):
+        expr = parse_expression("a + b")
+        assert expr.replace_child(ast.Identifier("nope"), ast.Identifier("x")) is False
