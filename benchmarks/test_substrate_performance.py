@@ -1,9 +1,12 @@
 """Substrate performance benchmarks (not tied to a paper figure).
 
 These measure the cost of the building blocks a user pays for on every call:
-parsing, code generation, locking a full-size synthetic benchmark, and
-extracting localities from a locked design.  They use pytest-benchmark's
-normal repeated timing (no shape assertions beyond sanity checks).
+parsing, code generation, locking a full-size synthetic benchmark, extracting
+localities from a locked design, and simulating input batches through the
+scalar and bit-parallel engines.  They use pytest-benchmark's normal repeated
+timing (no shape assertions beyond sanity checks) — except the batch-engine
+speedup, which is the acceptance gate of the bit-parallel substrate and is
+asserted explicitly.
 """
 
 from __future__ import annotations
@@ -14,9 +17,13 @@ import pytest
 
 from repro.attacks import LocalityExtractor
 from repro.bench import load_benchmark
-from repro.locking import AssureLocker, ERALocker
+from repro.locking import AssureLocker, ERALocker, functional_corruption
 from repro.rtlir import Design
+from repro.sim import BatchSimulator, CombinationalSimulator
+from repro.sim.bench import compare_engines
 from repro.verilog import generate, parse
+
+from .conftest import write_result
 
 
 @pytest.fixture(scope="module")
@@ -79,3 +86,56 @@ def test_locality_extraction_locked_md5(benchmark, locked_md5):
 def test_operation_census_n2046(benchmark, n2046_design):
     census = benchmark(n2046_design.operation_census)
     assert census["+"] == 2046
+
+
+# ---------------------------------------------------------------------------
+# Simulation engines
+# ---------------------------------------------------------------------------
+
+
+def test_scalar_simulation_locked_md5(benchmark, locked_md5):
+    simulator = CombinationalSimulator(locked_md5)
+    key = locked_md5.correct_key
+    vectors = [simulator.random_vector(random.Random(0)) for _ in range(32)]
+
+    def run():
+        return [simulator.run(v, key=key) for v in vectors]
+
+    outputs = benchmark(run)
+    assert len(outputs) == 32
+
+
+def test_batch_simulation_locked_md5(benchmark, locked_md5):
+    simulator = BatchSimulator(locked_md5)
+    key = locked_md5.correct_key
+    batch = simulator.random_batch(random.Random(0), 256)
+
+    outputs = benchmark(simulator.run_batch, batch, key=key, n=256)
+    assert all(len(values) == 256 for values in outputs.values())
+
+
+def test_batch_plan_compilation_locked_md5(benchmark, locked_md5):
+    simulator = benchmark(BatchSimulator, locked_md5)
+    assert simulator.plan.steps
+
+
+def test_functional_corruption_locked_md5(benchmark, locked_md5):
+    report = benchmark.pedantic(
+        functional_corruption, args=(locked_md5,),
+        kwargs={"vectors": 64, "wrong_keys": 4, "rng": random.Random(0)},
+        rounds=2, iterations=1)
+    assert report.mean_corruption > 0.0
+
+
+def test_batch_engine_speedup_at_256_vectors(results_dir, locked_md5):
+    """Acceptance gate: >= 10x over per-vector simulation at 256 vectors."""
+    comparison = compare_engines(locked_md5, vectors=256,
+                                 rng=random.Random(0), repeats=3)
+    assert comparison.outputs_match
+    write_result(results_dir, "batch_engine_speedup",
+                 f"design={comparison.design_name} vectors=256 "
+                 f"scalar={comparison.scalar_seconds * 1e3:.2f}ms "
+                 f"batch={comparison.batch_seconds * 1e3:.2f}ms "
+                 f"speedup={comparison.speedup:.1f}x")
+    assert comparison.speedup >= 10.0, (
+        f"batch engine only {comparison.speedup:.1f}x faster than scalar")

@@ -9,7 +9,15 @@
 """
 
 from .baselines import MajorityVoteAttack, PairAsymmetryAttack, RandomGuessAttack
-from .kpa import RANDOM_GUESS_KPA, KpaAggregate, KpaSample, aggregate_by, average_kpa, kpa
+from .kpa import (
+    RANDOM_GUESS_KPA,
+    KpaAggregate,
+    KpaSample,
+    aggregate_by,
+    average_kpa,
+    functional_kpa,
+    kpa,
+)
 from .locality import FEATURE_SETS, Locality, LocalityExtractor
 from .relock import TrainingSet, TrainingSetBuilder
 from .snapshot import AttackResult, SnapShotAttack
@@ -23,6 +31,7 @@ __all__ = [
     "KpaSample",
     "aggregate_by",
     "average_kpa",
+    "functional_kpa",
     "kpa",
     "FEATURE_SETS",
     "Locality",

@@ -8,8 +8,9 @@ random-guess reference line of Fig. 6a.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -30,6 +31,51 @@ def kpa(predicted: Sequence[int], correct: Sequence[int]) -> float:
     if predicted_arr.shape != correct_arr.shape:
         raise ValueError("predicted and correct keys must have equal length")
     return float(100.0 * np.mean(predicted_arr == correct_arr))
+
+
+def functional_kpa(design, predicted: Sequence[int], vectors: int = 64,
+                   rng: Optional[random.Random] = None) -> float:
+    """Functional key prediction accuracy in percent.
+
+    Bit-level KPA treats every key bit alike, but key bits differ in how much
+    they matter functionally: a predicted key that gets the *influential*
+    bits right restores more of the design's behaviour than its bit-level
+    KPA suggests.  Functional KPA is the percentage of random input vectors
+    on which the design under ``predicted`` produces exactly the outputs it
+    produces under the correct key — 100 % means the prediction is
+    functionally equivalent to the secret key on the tested vectors even if
+    some (irrelevant) bits are wrong.
+
+    Both key hypotheses are evaluated with the bit-parallel batch engine on
+    one shared input batch (two passes over one compiled plan).
+
+    Args:
+        design: A locked :class:`~repro.rtlir.design.Design`.
+        predicted: Predicted key bits, indexed by key position.
+        vectors: Number of random input vectors to test.
+        rng: Random source for the input vectors.
+
+    Raises:
+        ValueError: for unlocked designs, mismatched key lengths, or a
+            non-positive vector count.
+    """
+    from ..sim.batch import BatchSimulator, differing_lanes
+
+    if not design.is_locked:
+        raise ValueError("functional KPA requires a locked design")
+    correct = design.correct_key
+    if len(predicted) != len(correct):
+        raise ValueError("predicted and correct keys must have equal length")
+    if vectors < 1:
+        raise ValueError("vectors must be positive")
+    rng = rng or random.Random()
+
+    simulator = BatchSimulator(design)
+    batch = simulator.random_batch(rng, vectors)
+    reference = simulator.run_batch(batch, key=correct, n=vectors)
+    candidate = simulator.run_batch(batch, key=list(predicted), n=vectors)
+    differing = len(differing_lanes(reference, candidate, n=vectors))
+    return 100.0 * (vectors - differing) / vectors
 
 
 @dataclass

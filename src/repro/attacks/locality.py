@@ -11,11 +11,18 @@ Two feature sets are provided:
 * ``pair`` — exactly the paper's ``[C1, C2]`` encoding,
 * ``extended`` — ``[C1, C2]`` plus structural context (parent operation code,
   ternary nesting depth, container kind), used by the ablation study on
-  locality features.
+  locality features,
+* ``behavioral`` — ``[C1, C2]`` plus a simulation-derived output-sensitivity
+  feature: the fraction of random input vectors whose outputs change when the
+  key bit is flipped against the all-zero hypothesis key.  The probe is
+  oracle-free (any attacker can simulate the locked RTL under keys of their
+  choosing) and is evaluated with the bit-parallel batch engine, one compiled
+  plan and ``key_width + 1`` passes per design.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -26,7 +33,7 @@ from ..rtlir.operations import NO_OPERATION, encode_operator, normalize_operator
 from ..verilog import ast_nodes as ast
 
 #: Supported feature-set names.
-FEATURE_SETS = ("pair", "extended")
+FEATURE_SETS = ("pair", "extended", "behavioral")
 
 #: Container kind codes for the extended feature set.
 _CONTAINER_CODES = {
@@ -60,19 +67,33 @@ class LocalityExtractor:
     """Extract localities for every key bit of a locked design.
 
     Args:
-        feature_set: ``pair`` (paper default) or ``extended``.
+        feature_set: ``pair`` (paper default), ``extended`` or ``behavioral``.
+        behavior_vectors: Input vectors per sensitivity probe (only used by
+            the ``behavioral`` feature set).
+        behavior_seed: Seed of the probe's input-vector stream; fixed so the
+            same design always yields the same behavioural features.
     """
 
-    def __init__(self, feature_set: str = "pair") -> None:
+    def __init__(self, feature_set: str = "pair",
+                 behavior_vectors: int = 32,
+                 behavior_seed: int = 0) -> None:
         if feature_set not in FEATURE_SETS:
             raise ValueError(f"unknown feature set {feature_set!r}; "
                              f"expected one of {FEATURE_SETS}")
+        if behavior_vectors < 1:
+            raise ValueError("behavior_vectors must be positive")
         self.feature_set = feature_set
+        self.behavior_vectors = behavior_vectors
+        self.behavior_seed = behavior_seed
 
     @property
     def n_features(self) -> int:
         """Width of the produced feature vectors."""
-        return 2 if self.feature_set == "pair" else 5
+        if self.feature_set == "pair":
+            return 2
+        if self.feature_set == "behavioral":
+            return 3
+        return 5
 
     # ------------------------------------------------------------ extraction
 
@@ -92,17 +113,46 @@ class LocalityExtractor:
             raise ValueError("cannot extract localities from an unlocked design")
         wanted = set(key_indices) if key_indices is not None else None
         control_map = _key_controlled_nodes(design)
+        sensitivities = self._sensitivity_profile(design, wanted)
 
         localities: List[Locality] = []
         for bit in design.key_bits:
             if wanted is not None and bit.index not in wanted:
                 continue
             context = control_map.get(bit.index)
-            features = self._features_for(bit.kind, context)
+            features = self._features_for(bit.kind, context,
+                                          sensitivities.get(bit.index, 0.0))
             localities.append(Locality(key_index=bit.index, features=features,
                                        label=bit.correct_value, kind=bit.kind))
         localities.sort(key=lambda loc: loc.key_index)
         return localities
+
+    def _sensitivity_profile(self, design: Design,
+                             wanted: Optional[set] = None) -> Dict[int, float]:
+        """Per-key-bit output sensitivity (behavioral feature set only).
+
+        Only the requested key bits are probed — one bit-parallel pass per
+        bit — so restricted extractions (the relocking training loop) pay for
+        their own bits, not the whole key.  Designs the batch plan compiler
+        cannot express degrade gracefully to an all-zero profile instead of
+        failing the extraction.
+        """
+        if self.feature_set != "behavioral":
+            return {}
+        indices = sorted(bit.index for bit in design.key_bits
+                         if wanted is None or bit.index in wanted)
+        if not indices:
+            return {}
+        from ..locking.metrics import key_bit_sensitivity
+        from ..sim import SimulationError
+        try:
+            values = key_bit_sensitivity(
+                design, vectors=self.behavior_vectors,
+                rng=random.Random(self.behavior_seed),
+                key_indices=indices)
+        except SimulationError:
+            return {}
+        return dict(zip(indices, values))
 
     def as_matrix(self, localities: Sequence[Locality]
                   ) -> Tuple[np.ndarray, np.ndarray]:
@@ -121,8 +171,8 @@ class LocalityExtractor:
 
     # -------------------------------------------------------------- internals
 
-    def _features_for(self, kind: str, context: Optional["_ControlContext"]
-                      ) -> np.ndarray:
+    def _features_for(self, kind: str, context: Optional["_ControlContext"],
+                      sensitivity: float = 0.0) -> np.ndarray:
         if context is None or kind != "operation":
             base = [float(NO_OPERATION), float(NO_OPERATION)]
             extended = [0.0, 0.0, 0.0]
@@ -132,6 +182,8 @@ class LocalityExtractor:
                         float(context.container_code)]
         if self.feature_set == "pair":
             return np.array(base, dtype=float)
+        if self.feature_set == "behavioral":
+            return np.array(base + [float(sensitivity)], dtype=float)
         return np.array(base + extended, dtype=float)
 
 

@@ -16,6 +16,7 @@ The attack is oracle-less and purely structural:
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -43,6 +44,9 @@ class AttackResult:
         training_size: Number of training localities used.
         per_bit_correct: Boolean list, one entry per key bit.
         metadata: Extra run information (rounds, budgets, ...).
+        functional_kpa: Percentage of test vectors on which the predicted key
+            reproduces the correct key's outputs exactly (simulation-based;
+            ``None`` unless the attack ran with ``functional_vectors > 0``).
     """
 
     design_name: str
@@ -53,6 +57,7 @@ class AttackResult:
     training_size: int
     per_bit_correct: List[bool] = field(default_factory=list)
     metadata: Dict[str, object] = field(default_factory=dict)
+    functional_kpa: Optional[float] = None
 
     @property
     def key_width(self) -> int:
@@ -79,6 +84,12 @@ class SnapShotAttack:
             to the model; larger training sets are subsampled uniformly.  The
             statistical signal (operation-pair frequencies) is preserved while
             the model-search cost stays bounded on very large targets.
+        functional_vectors: When positive, the predicted key is additionally
+            validated functionally: the target is batch-simulated under the
+            predicted and the correct key on this many shared input vectors
+            and the match rate is reported as
+            :attr:`AttackResult.functional_kpa`.  0 (the default) skips the
+            simulation entirely.
         rng: Random source.
     """
 
@@ -89,9 +100,12 @@ class SnapShotAttack:
                  pair_table: Optional[PairTable] = None,
                  time_budget: float = 10.0,
                  max_training_samples: int = 20000,
+                 functional_vectors: int = 0,
                  rng: Optional[random.Random] = None) -> None:
         if max_training_samples < 1:
             raise ValueError("max_training_samples must be positive")
+        if functional_vectors < 0:
+            raise ValueError("functional_vectors must be non-negative")
         self.model = model
         self.rounds = rounds
         self.relock_budget = relock_budget
@@ -99,6 +113,7 @@ class SnapShotAttack:
         self.pair_table = pair_table
         self.time_budget = time_budget
         self.max_training_samples = max_training_samples
+        self.functional_vectors = functional_vectors
         self.rng = rng or random.Random()
 
     # ------------------------------------------------------------------ steps
@@ -163,6 +178,7 @@ class SnapShotAttack:
         predicted = self.predict_key(model, target)
         correct = target.correct_key
         per_bit = [int(p) == int(c) for p, c in zip(predicted, correct)]
+        functional = self.validate_functionally(target, predicted)
 
         model_name = getattr(model, "best_model_name", type(model).__name__)
         return AttackResult(
@@ -180,7 +196,33 @@ class SnapShotAttack:
                 "locking_algorithm": algorithm or "unknown",
                 "training_label_balance": training_set.label_balance(),
             },
+            functional_kpa=functional,
         )
+
+    def validate_functionally(self, target: Design,
+                              predicted: Sequence[int]) -> Optional[float]:
+        """Batch-simulate the predicted key against the correct one.
+
+        Returns ``None`` when functional validation is disabled
+        (``functional_vectors == 0``) or the design contains constructs the
+        batch plan compiler cannot express.  The validation rng is derived
+        from the target and prediction instead of ``self.rng`` so that
+        enabling validation never shifts the random stream the attack steps
+        draw from — bit-level KPA results stay identical either way.
+        """
+        if self.functional_vectors <= 0:
+            return None
+        from ..sim import SimulationError
+        from .kpa import functional_kpa
+        seed = zlib.crc32(
+            f"{target.name}/{''.join(str(int(b)) for b in predicted)}"
+            .encode())
+        try:
+            return functional_kpa(
+                target, list(predicted), vectors=self.functional_vectors,
+                rng=random.Random(seed))
+        except SimulationError:
+            return None
 
     def attack_many(self, targets: Sequence[Design],
                     algorithm: Optional[str] = None) -> List[AttackResult]:

@@ -194,6 +194,36 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sim_bench(args: argparse.Namespace) -> int:
+    """Compare the scalar and bit-parallel batch simulation engines."""
+    from .sim.bench import compare_engines, format_report, run_microbenchmark
+
+    if args.vectors < 1:
+        raise SystemExit("error: --vectors must be positive")
+    if args.repeats < 1:
+        raise SystemExit("error: --repeats must be positive")
+    from .sim import BatchCompileError
+
+    try:
+        if args.input is not None:
+            design = _load_design(args.input, args.top)
+            results = [compare_engines(design, vectors=args.vectors,
+                                       rng=random.Random(args.seed),
+                                       repeats=args.repeats)]
+        else:
+            results = run_microbenchmark(vectors=args.vectors,
+                                         scale=args.scale,
+                                         seed=args.seed, repeats=args.repeats)
+    except BatchCompileError as exc:
+        raise SystemExit(f"error: design is not batch-compilable ({exc}); "
+                         "only the scalar engine can simulate it")
+    print(format_report(results))
+    if any(not item.outputs_match for item in results):
+        print("\nERROR: engines disagree — the batch plan is unsound here.")
+        return 1
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Argument parsing
 # ---------------------------------------------------------------------------
@@ -257,6 +287,20 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--seed", type=int, default=0)
     evaluate.add_argument("-o", "--output", type=Path, default=None)
     evaluate.set_defaults(func=cmd_evaluate)
+
+    sim_bench = subparsers.add_parser(
+        "sim-bench",
+        help="micro-benchmark the batch simulation engine vs. the scalar one")
+    sim_bench.add_argument("input", nargs="?", type=Path, default=None,
+                           help="Verilog file to measure (default: built-in "
+                                "design suite)")
+    sim_bench.add_argument("--top", default=None)
+    sim_bench.add_argument("--vectors", type=int, default=256)
+    sim_bench.add_argument("--scale", type=float, default=0.25,
+                           help="benchmark scale of the built-in suite")
+    sim_bench.add_argument("--repeats", type=int, default=3)
+    sim_bench.add_argument("--seed", type=int, default=0)
+    sim_bench.set_defaults(func=cmd_sim_bench)
 
     return parser
 

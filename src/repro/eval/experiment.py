@@ -82,7 +82,13 @@ class ExperimentConfig:
         n_test_lockings: Locked samples per benchmark/algorithm (paper: 10).
         relock_rounds: Relocking rounds per attacked sample (paper: 1000).
         automl_time_budget: Auto-ML search budget in seconds per attack.
-        feature_set: Locality feature set for the attack.
+        feature_set: Locality feature set for the attack (``pair``,
+            ``extended`` or ``behavioral``).
+        functional_vectors: When positive, every attack additionally
+            batch-simulates its predicted key against the correct key on this
+            many input vectors and reports the match rate as
+            ``AttackResult.functional_kpa`` (0 disables the simulation and
+            leaves the bit-level KPA pipeline untouched).
         pair_table: Pair table used by lockers and the attacker's relocking.
         seed: Master seed; every sub-step derives its own stream from it.
     """
@@ -95,6 +101,7 @@ class ExperimentConfig:
     relock_rounds: int = 50
     automl_time_budget: float = 10.0
     feature_set: str = "pair"
+    functional_vectors: int = 0
     pair_table: Optional[PairTable] = None
     seed: int = 0
 
@@ -129,12 +136,15 @@ class ExperimentResult:
         samples: List[KpaSample] = []
         for cell in self.cells:
             for attack in cell.attacks:
+                metadata = dict(attack.metadata)
+                if attack.functional_kpa is not None:
+                    metadata["functional_kpa"] = attack.functional_kpa
                 samples.append(KpaSample(
                     design_name=cell.benchmark,
                     algorithm=cell.algorithm,
                     value=attack.kpa,
                     key_width=attack.key_width,
-                    metadata=dict(attack.metadata),
+                    metadata=metadata,
                 ))
         return samples
 
@@ -209,6 +219,7 @@ class SnapShotExperiment:
                 feature_set=config.feature_set,
                 pair_table=config.pair_table,
                 time_budget=config.automl_time_budget,
+                functional_vectors=config.functional_vectors,
                 rng=random.Random(cell_seed + 1000 * sample_index + 7),
             )
             cell.attacks.append(attack.attack(locked.design, algorithm=algorithm))

@@ -28,9 +28,12 @@ from .key import (
 )
 from .lockstep import lock_step, undo_step
 from .metrics import (
+    FunctionalCorruptionReport,
     MetricPoint,
     MetricTracker,
+    functional_corruption,
     global_metric,
+    key_bit_sensitivity,
     metric_surface,
     modified_euclidean,
     restricted_metric,
@@ -66,9 +69,12 @@ __all__ = [
     "string_to_key",
     "lock_step",
     "undo_step",
+    "FunctionalCorruptionReport",
     "MetricPoint",
     "MetricTracker",
+    "functional_corruption",
     "global_metric",
+    "key_bit_sensitivity",
     "metric_surface",
     "modified_euclidean",
     "restricted_metric",

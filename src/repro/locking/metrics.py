@@ -21,6 +21,7 @@ Two variants exist:
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -178,3 +179,161 @@ def metric_surface(imbalances: Sequence[int],
         current = np.maximum(initial - np.array(index, dtype=float), 0.0)
         surface[index] = security_metric(initial, current)
     return surface
+
+
+# ---------------------------------------------------------------------------
+# Functional (simulation-based) corruption metrics
+# ---------------------------------------------------------------------------
+# The distribution metrics above quantify *structural* learning resilience;
+# the metrics below quantify the *functional* half of the locking contract —
+# how strongly wrong keys corrupt the observable outputs.  They are driven by
+# the bit-parallel batch engine: one compiled plan, one shared input batch,
+# and one extra run per key hypothesis.
+
+
+@dataclass
+class FunctionalCorruptionReport:
+    """Output corruption of a locked design across sampled wrong keys.
+
+    Attributes:
+        vectors: Input vectors per key hypothesis.
+        wrong_keys: Number of sampled wrong keys.
+        per_key_rates: Corruption rate (fraction of vectors with at least one
+            differing output) for every sampled wrong key.
+        avalanche: Mean fraction of *output bits* flipped over all wrong keys
+            and vectors — 0.5 is the ideal avalanche of a strong cipher-like
+            corruption, 0.0 means wrong keys are functionally invisible.
+    """
+
+    vectors: int
+    wrong_keys: int
+    per_key_rates: List[float]
+    avalanche: float
+
+    @property
+    def mean_corruption(self) -> float:
+        """Mean corruption rate over the sampled wrong keys."""
+        if not self.per_key_rates:
+            return 0.0
+        return float(np.mean(self.per_key_rates))
+
+    @property
+    def min_corruption(self) -> float:
+        """Worst (lowest) corruption rate — the weakest sampled wrong key."""
+        if not self.per_key_rates:
+            return 0.0
+        return float(min(self.per_key_rates))
+
+
+def _sample_wrong_key(correct: Sequence[int], rng: random.Random) -> List[int]:
+    """Draw a uniformly random key different from ``correct``."""
+    while True:
+        candidate = [rng.randint(0, 1) for _ in correct]
+        if candidate != list(correct):
+            return candidate
+
+
+def functional_corruption(design, correct_key: Optional[Sequence[int]] = None,
+                          vectors: int = 64, wrong_keys: int = 8,
+                          rng: Optional[random.Random] = None,
+                          ) -> FunctionalCorruptionReport:
+    """Measure output corruption of ``design`` under sampled wrong keys.
+
+    One input batch is simulated once under ``correct_key`` and once per
+    sampled wrong key; the compiled batch plan is shared across all runs, so
+    the cost is ``wrong_keys + 1`` bit-parallel passes.
+
+    Args:
+        design: A locked :class:`~repro.rtlir.design.Design`.
+        correct_key: Reference key (defaults to the design's correct key).
+        vectors: Input vectors per key hypothesis.
+        wrong_keys: Number of random wrong keys to sample.
+        rng: Random source for vectors and wrong keys.
+
+    Raises:
+        ValueError: if the design is not locked or sizes are non-positive.
+    """
+    from ..sim.batch import BatchSimulator, differing_lanes
+
+    if not design.is_locked:
+        raise ValueError("functional corruption requires a locked design")
+    if vectors < 1 or wrong_keys < 1:
+        raise ValueError("vectors and wrong_keys must be positive")
+    rng = rng or random.Random()
+    correct = list(correct_key) if correct_key is not None \
+        else design.correct_key
+
+    simulator = BatchSimulator(design)
+    batch = simulator.random_batch(rng, vectors)
+    reference = simulator.run_batch(batch, key=correct, n=vectors)
+    output_widths = {name: simulator.width_of(name)
+                     for name in simulator.output_names}
+    total_bits_per_vector = sum(output_widths.values())
+
+    per_key_rates: List[float] = []
+    flipped_bits = 0
+    for _ in range(wrong_keys):
+        wrong = _sample_wrong_key(correct, rng)
+        corrupted = simulator.run_batch(batch, key=wrong, n=vectors)
+        lanes = differing_lanes(reference, corrupted, n=vectors)
+        for lane in lanes:
+            for name in output_widths:
+                delta = reference[name][lane] ^ corrupted[name][lane]
+                flipped_bits += delta.bit_count()
+        per_key_rates.append(len(lanes) / vectors)
+
+    denom = wrong_keys * vectors * max(total_bits_per_vector, 1)
+    return FunctionalCorruptionReport(
+        vectors=vectors, wrong_keys=wrong_keys,
+        per_key_rates=per_key_rates,
+        avalanche=flipped_bits / denom,
+    )
+
+
+def key_bit_sensitivity(design, base_key: Optional[Sequence[int]] = None,
+                        vectors: int = 32,
+                        rng: Optional[random.Random] = None,
+                        key_indices: Optional[Sequence[int]] = None,
+                        ) -> List[float]:
+    """Per-key-bit output sensitivity of a locked design.
+
+    Entry ``j`` is the fraction of input vectors whose outputs change when
+    key bit ``key_indices[j]`` (all key bits when ``key_indices`` is omitted)
+    is flipped relative to ``base_key``.  The base key defaults to all
+    zeros — a key hypothesis an *attacker* can evaluate without knowing the
+    secret — so the profile doubles as an oracle-free behavioural feature
+    (see the ``behavioral`` locality feature set).
+
+    The compiled batch plan is reused for the base run plus one run per
+    probed key bit: ``len(key_indices) + 1`` bit-parallel passes in total.
+
+    Raises:
+        ValueError: if the design is not locked, ``vectors`` is not positive,
+            or an index is out of the key's range.
+    """
+    from ..sim.batch import BatchSimulator, differing_lanes
+
+    if not design.is_locked:
+        raise ValueError("key-bit sensitivity requires a locked design")
+    if vectors < 1:
+        raise ValueError("vectors must be positive")
+    rng = rng or random.Random()
+    base = list(base_key) if base_key is not None \
+        else [0] * design.key_width
+    indices = list(key_indices) if key_indices is not None \
+        else list(range(design.key_width))
+    if any(index < 0 or index >= design.key_width for index in indices):
+        raise ValueError("key index out of range")
+
+    simulator = BatchSimulator(design)
+    batch = simulator.random_batch(rng, vectors)
+    reference = simulator.run_batch(batch, key=base, n=vectors)
+
+    sensitivities: List[float] = []
+    for index in indices:
+        flipped = list(base)
+        flipped[index] = 1 - flipped[index]
+        outputs = simulator.run_batch(batch, key=flipped, n=vectors)
+        sensitivities.append(
+            len(differing_lanes(reference, outputs, n=vectors)) / vectors)
+    return sensitivities

@@ -1,12 +1,31 @@
 """Combinational RTL simulation: functional checks for locked designs.
 
-Used to validate the locking contract — with the correct key the locked
-design is functionally equivalent to the original, with a wrong key the
-outputs are corrupted.
+Two engines share one semantics:
+
+* :class:`CombinationalSimulator` — the scalar *reference oracle*: one input
+  vector at a time, interpreted over the AST.
+* :class:`BatchSimulator` — the bit-parallel *fast path*: N vectors at once,
+  bit-sliced into Python integers and driven by a compiled
+  :class:`EvalPlan`.
+
+Both validate the locking contract — with the correct key the locked design
+is functionally equivalent to the original, with a wrong key the outputs are
+corrupted.  :func:`check_equivalence` and :func:`output_corruption` use the
+batch engine by default and fall back to the scalar oracle for constructs the
+plan compiler cannot express.  :mod:`repro.sim.bench` measures the speedup.
 """
 
+from .batch import (
+    BatchCompileError,
+    BatchSimulator,
+    EvalPlan,
+    compile_plan,
+    pack_values,
+    unpack_values,
+)
 from .evaluator import ExpressionEvaluator, SimulationError, mask
 from .simulator import (
+    ENGINES,
     CombinationalSimulator,
     EquivalenceReport,
     check_equivalence,
@@ -21,4 +40,11 @@ __all__ = [
     "EquivalenceReport",
     "check_equivalence",
     "output_corruption",
+    "ENGINES",
+    "BatchCompileError",
+    "BatchSimulator",
+    "EvalPlan",
+    "compile_plan",
+    "pack_values",
+    "unpack_values",
 ]

@@ -1,0 +1,165 @@
+"""Micro-benchmark harness comparing the scalar and batch engines.
+
+The harness answers one question with a measurement instead of an assertion:
+*how much faster is the bit-parallel batch engine than the per-vector scalar
+oracle on this design?*  Every comparison also cross-checks the two engines
+output-for-output, so a reported speedup is only ever produced alongside a
+bit-identical result.
+
+Run it from the command line::
+
+    PYTHONPATH=src python -m repro.cli sim-bench --vectors 256
+
+or programmatically via :func:`compare_engines` / :func:`run_microbenchmark`.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..rtlir.design import Design
+from .batch import BatchSimulator
+from .simulator import CombinationalSimulator
+
+
+@dataclass
+class EngineComparison:
+    """Timing of one scalar-vs-batch comparison on one design.
+
+    Attributes:
+        design_name: Name of the measured design.
+        vectors: Batch size (number of input vectors).
+        scalar_seconds: Wall time of the per-vector scalar loop.
+        batch_seconds: Wall time of one ``run_batch`` call (plan reused).
+        compile_seconds: One-off cost of compiling the evaluation plan.
+        outputs_match: True when both engines produced identical outputs.
+    """
+
+    design_name: str
+    vectors: int
+    scalar_seconds: float
+    batch_seconds: float
+    compile_seconds: float
+    outputs_match: bool
+
+    @property
+    def speedup(self) -> float:
+        """Scalar time over batch time (plan compilation excluded)."""
+        if self.batch_seconds <= 0.0:
+            return float("inf")
+        return self.scalar_seconds / self.batch_seconds
+
+
+def compare_engines(design: Design, vectors: int = 256,
+                    key: Optional[Sequence[int]] = None,
+                    rng: Optional[random.Random] = None,
+                    repeats: int = 3,
+                    label: Optional[str] = None) -> EngineComparison:
+    """Time both engines on the same random batch and cross-check outputs.
+
+    Args:
+        design: Design to simulate (locked or not).
+        vectors: Batch size.
+        key: Key applied to both engines (defaults to the design's correct
+            key when it is locked).
+        rng: Random source for the input vectors.
+        repeats: Timing repetitions; the *best* time of each engine is kept,
+            which is the standard way to suppress scheduler noise in
+            micro-benchmarks.
+        label: Reported design name (defaults to ``design.name``).
+
+    Returns:
+        An :class:`EngineComparison`; ``comparison.speedup`` is the headline.
+    """
+    if vectors < 1:
+        raise ValueError("vectors must be positive")
+    if repeats < 1:
+        raise ValueError("repeats must be positive")
+    rng = rng or random.Random(0)
+    if key is None and design.is_locked:
+        key = design.correct_key
+
+    scalar = CombinationalSimulator(design)
+    compile_start = time.perf_counter()
+    batch = BatchSimulator(design)
+    compile_seconds = time.perf_counter() - compile_start
+
+    vector_list = [scalar.random_vector(rng) for _ in range(vectors)]
+    packed = {name: [vector[name] for vector in vector_list]
+              for name in (vector_list[0] if vector_list else {})}
+
+    def run_scalar() -> List[dict]:
+        return [scalar.run(vector, key=key) for vector in vector_list]
+
+    def run_batch() -> dict:
+        return batch.run_batch(packed, key=key, n=vectors)
+
+    scalar_seconds, scalar_outputs = _best_time(run_scalar, repeats)
+    batch_seconds, batch_outputs = _best_time(run_batch, repeats)
+
+    common = set(scalar.output_names) & set(batch.output_names)
+    outputs_match = all(
+        scalar_outputs[lane][name] == batch_outputs[name][lane]
+        for lane in range(vectors) for name in common)
+
+    return EngineComparison(
+        design_name=label or design.name,
+        vectors=vectors,
+        scalar_seconds=scalar_seconds,
+        batch_seconds=batch_seconds,
+        compile_seconds=compile_seconds,
+        outputs_match=outputs_match,
+    )
+
+
+def _best_time(fn: Callable, repeats: int) -> Tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def default_suite(scale: float = 0.25,
+                  seed: int = 0) -> List[Tuple[str, Design]]:
+    """The default micro-benchmark designs: plain, locked, and imbalanced."""
+    from ..bench import load_benchmark, plus_network
+    from ..locking.assure import AssureLocker
+
+    plus = plus_network(128, n_inputs=8, name="plus_128")
+    md5 = load_benchmark("MD5", scale=scale, seed=seed)
+    budget = max(1, int(0.75 * md5.num_operations()))
+    locked = AssureLocker("serial", rng=random.Random(seed),
+                          track_metrics=False).lock(md5, budget).design
+    return [("plus_128", plus), ("md5_scaled", md5),
+            ("md5_scaled_locked", locked)]
+
+
+def run_microbenchmark(vectors: int = 256, scale: float = 0.25,
+                       seed: int = 0,
+                       repeats: int = 3) -> List[EngineComparison]:
+    """Run :func:`compare_engines` over the default design suite."""
+    return [compare_engines(design, vectors=vectors,
+                            rng=random.Random(seed), repeats=repeats,
+                            label=label)
+            for label, design in default_suite(scale=scale, seed=seed)]
+
+
+def format_report(results: Sequence[EngineComparison]) -> str:
+    """Render comparisons as a fixed-width text table."""
+    header = (f"{'design':<20} {'vectors':>7} {'scalar [ms]':>12} "
+              f"{'batch [ms]':>11} {'compile [ms]':>13} {'speedup':>8} match")
+    lines = [header, "-" * len(header)]
+    for item in results:
+        lines.append(
+            f"{item.design_name:<20} {item.vectors:>7} "
+            f"{item.scalar_seconds * 1e3:>12.2f} "
+            f"{item.batch_seconds * 1e3:>11.2f} "
+            f"{item.compile_seconds * 1e3:>13.2f} "
+            f"{item.speedup:>7.1f}x {'yes' if item.outputs_match else 'NO'}")
+    return "\n".join(lines)

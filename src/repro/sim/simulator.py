@@ -201,9 +201,23 @@ def _target_name(lhs: ast.Expression) -> Optional[str]:
 # ---------------------------------------------------------------------------
 
 
+#: Simulation engines accepted by the equivalence/corruption helpers.
+ENGINES = ("batch", "scalar")
+
+
+def _batch_simulators(*designs: Design):
+    """Try to build batch simulators for every design; None on compile gaps."""
+    from .batch import BatchCompileError, BatchSimulator
+    try:
+        return [BatchSimulator(design) for design in designs]
+    except BatchCompileError:
+        return None
+
+
 def check_equivalence(original: Design, locked: Design, key: Sequence[int],
                       vectors: int = 50,
-                      rng: Optional[random.Random] = None) -> EquivalenceReport:
+                      rng: Optional[random.Random] = None,
+                      engine: str = "batch") -> EquivalenceReport:
     """Compare a locked design under ``key`` against the original design.
 
     Args:
@@ -212,17 +226,53 @@ def check_equivalence(original: Design, locked: Design, key: Sequence[int],
         key: Key-bit values applied to the locked design.
         vectors: Number of random input vectors to test.
         rng: Random source for the input vectors.
+        engine: ``batch`` (bit-parallel fast path, the default) or ``scalar``
+            (the per-vector reference oracle).  Both engines draw the same
+            vectors from ``rng`` and produce identical reports; designs the
+            batch compiler cannot express fall back to scalar automatically.
 
     Returns:
         An :class:`EquivalenceReport`; ``report.equivalent`` is the verdict.
     """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown simulation engine {engine!r}; "
+                         f"expected one of {ENGINES}")
     rng = rng or random.Random()
+
+    if engine == "batch" and vectors > 0:
+        simulators = _batch_simulators(original, locked)
+        if simulators is not None:
+            reference, candidate = simulators
+            common = set(reference.output_names) & set(candidate.output_names)
+            batch = reference.random_batch(rng, vectors)
+            expected = reference.run_batch(batch, n=vectors)
+            actual = candidate.run_batch(batch, key=key, n=vectors)
+            mismatches = 0
+            first: Optional[Dict[str, object]] = None
+            for lane in range(vectors):
+                diff = {name for name in common
+                        if expected[name][lane] != actual[name][lane]}
+                if diff:
+                    mismatches += 1
+                    if first is None:
+                        first = {
+                            "inputs": {name: values[lane]
+                                       for name, values in batch.items()},
+                            "outputs": sorted(diff),
+                            "expected": {n: expected[n][lane]
+                                         for n in sorted(diff)},
+                            "actual": {n: actual[n][lane]
+                                       for n in sorted(diff)},
+                        }
+            return EquivalenceReport(vectors=vectors, mismatches=mismatches,
+                                     first_mismatch=first)
+
     reference = CombinationalSimulator(original)
     candidate = CombinationalSimulator(locked)
     common_outputs = set(reference.output_names) & set(candidate.output_names)
 
     mismatches = 0
-    first: Optional[Dict[str, object]] = None
+    first = None
     for _ in range(vectors):
         vector = reference.random_vector(rng)
         expected = reference.run(vector)
@@ -242,14 +292,30 @@ def check_equivalence(original: Design, locked: Design, key: Sequence[int],
 
 def output_corruption(locked: Design, correct_key: Sequence[int],
                       wrong_key: Sequence[int], vectors: int = 50,
-                      rng: Optional[random.Random] = None) -> float:
+                      rng: Optional[random.Random] = None,
+                      engine: str = "batch") -> float:
     """Fraction of vectors whose outputs differ between two keys.
 
     A useful locking scheme corrupts the outputs for wrong keys; 0.0 means the
     wrong key behaves exactly like the correct one (no protection on the
-    tested vectors).
+    tested vectors).  ``engine`` selects the bit-parallel fast path (default)
+    or the scalar reference; both produce identical rates for the same rng.
     """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown simulation engine {engine!r}; "
+                         f"expected one of {ENGINES}")
     rng = rng or random.Random()
+
+    if engine == "batch" and vectors > 0:
+        simulators = _batch_simulators(locked)
+        if simulators is not None:
+            from .batch import differing_lanes
+            (simulator,) = simulators
+            batch = simulator.random_batch(rng, vectors)
+            good = simulator.run_batch(batch, key=correct_key, n=vectors)
+            bad = simulator.run_batch(batch, key=wrong_key, n=vectors)
+            return len(differing_lanes(good, bad, n=vectors)) / vectors
+
     simulator = CombinationalSimulator(locked)
     differing = 0
     for _ in range(vectors):

@@ -118,3 +118,38 @@ class TestExtendedFeatures:
         session.add_pair(add_ref)
         features, _ = LocalityExtractor("extended").extract_matrix(design)
         assert features[0, 2] == encode_operator("*")
+
+
+class TestBehavioralFeatures:
+    def test_behavioral_feature_width(self, mixer_design, rng):
+        locked = AssureLocker("serial", rng=rng).lock(mixer_design, 3).design
+        extractor = LocalityExtractor("behavioral")
+        assert extractor.n_features == 3
+        features, labels = extractor.extract_matrix(locked)
+        assert features.shape == (3, 3)
+        assert labels.shape == (3,)
+
+    def test_behavioral_pair_columns_match_pair_set(self, mixer_design, rng):
+        locked = AssureLocker("serial", rng=rng).lock(mixer_design, 4).design
+        pair_features, _ = LocalityExtractor("pair").extract_matrix(locked)
+        behavioral, _ = LocalityExtractor("behavioral").extract_matrix(locked)
+        assert np.array_equal(behavioral[:, :2], pair_features)
+
+    def test_behavioral_sensitivity_in_unit_interval(self, mixer_design, rng):
+        locked = AssureLocker("serial", rng=rng).lock(mixer_design, 5).design
+        features, _ = LocalityExtractor(
+            "behavioral", behavior_vectors=16).extract_matrix(locked)
+        sensitivities = features[:, 2]
+        assert np.all(sensitivities >= 0.0) and np.all(sensitivities <= 1.0)
+        # Combinationally observable key bits must show some sensitivity.
+        assert sensitivities.max() > 0.0
+
+    def test_behavioral_extraction_is_deterministic(self, mixer_design, rng):
+        locked = AssureLocker("serial", rng=rng).lock(mixer_design, 4).design
+        first, _ = LocalityExtractor("behavioral").extract_matrix(locked)
+        second, _ = LocalityExtractor("behavioral").extract_matrix(locked)
+        assert np.array_equal(first, second)
+
+    def test_invalid_behavior_vectors_rejected(self):
+        with pytest.raises(ValueError):
+            LocalityExtractor("behavioral", behavior_vectors=0)

@@ -95,3 +95,40 @@ class TestRunCell:
         first = SnapShotExperiment(quick_config).run().kpa_table()
         second = SnapShotExperiment(quick_config).run().kpa_table()
         assert first == second
+
+
+class TestFunctionalValidation:
+    def test_functional_vectors_flow_into_results(self):
+        config = ExperimentConfig(
+            benchmarks=["SASC"],
+            algorithms=("assure",),
+            scale=0.15,
+            n_test_lockings=1,
+            relock_rounds=4,
+            automl_time_budget=0.5,
+            functional_vectors=16,
+            seed=5,
+        )
+        result = SnapShotExperiment(config).run()
+        (cell,) = result.cells
+        (attack,) = cell.attacks
+        assert attack.functional_kpa is not None
+        assert 0.0 <= attack.functional_kpa <= 100.0
+        (sample,) = result.kpa_samples()
+        assert sample.metadata["functional_kpa"] == attack.functional_kpa
+
+    def test_functional_validation_off_by_default(self):
+        config = ExperimentConfig(
+            benchmarks=["SASC"],
+            algorithms=("assure",),
+            scale=0.15,
+            n_test_lockings=1,
+            relock_rounds=4,
+            automl_time_budget=0.5,
+            seed=5,
+        )
+        result = SnapShotExperiment(config).run()
+        (attack,) = result.cells[0].attacks
+        assert attack.functional_kpa is None
+        (sample,) = result.kpa_samples()
+        assert "functional_kpa" not in sample.metadata

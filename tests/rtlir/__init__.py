@@ -1,0 +1,1 @@
+"""Test package marker (enables package-relative imports of conftest helpers)."""
