@@ -19,8 +19,15 @@ from repro.attacks import LocalityExtractor
 from repro.bench import load_benchmark
 from repro.locking import AssureLocker, ERALocker, functional_corruption
 from repro.rtlir import Design
-from repro.sim import BatchSimulator, CombinationalSimulator
-from repro.sim.bench import compare_engines
+from repro.sim import (
+    BatchSimulator,
+    CombinationalSimulator,
+    compile_plan,
+    key_sweep,
+    random_input_batch,
+    random_key,
+)
+from repro.sim.bench import compare_engines, compare_key_sweep
 from repro.verilog import generate, parse
 
 from .conftest import write_result
@@ -41,6 +48,13 @@ def locked_md5(md5_design) -> Design:
     budget = int(0.75 * md5_design.num_operations())
     return AssureLocker("serial", rng=random.Random(0),
                         track_metrics=False).lock(md5_design, budget).design
+
+
+@pytest.fixture(scope="module")
+def era_locked_md5(md5_design) -> Design:
+    budget = int(0.75 * md5_design.num_operations())
+    return ERALocker(rng=random.Random(0),
+                     track_metrics=False).lock(md5_design, budget).design
 
 
 def test_parse_throughput_n2046(benchmark, n2046_design):
@@ -139,3 +153,63 @@ def test_batch_engine_speedup_at_256_vectors(results_dir, locked_md5):
                  f"speedup={comparison.speedup:.1f}x")
     assert comparison.speedup >= 10.0, (
         f"batch engine only {comparison.speedup:.1f}x faster than scalar")
+
+
+# ---------------------------------------------------------------------------
+# Per-lane key sweeps
+# ---------------------------------------------------------------------------
+
+
+def test_key_sweep_speedup_at_64_keys(results_dir, locked_md5):
+    """Acceptance gate: one sweep >= 5x over the per-key batch loop."""
+    comparison = compare_key_sweep(locked_md5, keys=64, vectors=32,
+                                   rng=random.Random(0), repeats=3)
+    assert comparison.outputs_match
+    write_result(results_dir, "key_sweep_speedup",
+                 f"design={comparison.design_name} keys=64 vectors=32 "
+                 f"loop={comparison.loop_seconds * 1e3:.2f}ms "
+                 f"sweep={comparison.sweep_seconds * 1e3:.2f}ms "
+                 f"speedup={comparison.speedup:.1f}x")
+    assert comparison.speedup >= 5.0, (
+        f"key sweep only {comparison.speedup:.1f}x faster than the "
+        "per-key batch loop")
+
+
+@pytest.mark.parametrize("fixture_name", ["locked_md5", "era_locked_md5"])
+def test_key_sweep_bit_identical_to_scalar_oracle(request, fixture_name):
+    """Sweep lanes vs the scalar oracle, including a CSE-active design."""
+    design = request.getfixturevalue(fixture_name)
+    if fixture_name == "era_locked_md5":
+        # ERA dummies duplicate operand subtrees: the CSE pass must fire.
+        assert compile_plan(design).stats.cse_steps > 0
+    rng = random.Random(1)
+    batch = random_input_batch(design, rng, 16)
+    keys = [design.correct_key] + [random_key(design.key_width, rng)
+                                   for _ in range(7)]
+    fast = key_sweep(design, batch, keys, n=16, engine="batch")
+    slow = key_sweep(design, batch, keys, n=16, engine="scalar")
+    assert fast == slow
+
+
+def test_key_sweep_throughput_era_md5(benchmark, era_locked_md5):
+    simulator = BatchSimulator(era_locked_md5)
+    batch = simulator.random_batch(random.Random(0), 32)
+    rng = random.Random(1)
+    keys = [random_key(era_locked_md5.key_width, rng) for _ in range(64)]
+
+    results = benchmark(simulator.run_sweep, batch, keys=keys, n=32)
+    assert len(results) == 64
+
+
+def test_plan_cache_hit_rate_in_attack_validation(locked_md5):
+    """Repeated functional validation compiles the target exactly once."""
+    from repro.attacks.kpa import functional_kpa
+    from repro.sim import clear_plan_cache, plan_cache_info
+
+    clear_plan_cache()
+    for seed in range(5):
+        functional_kpa(locked_md5, locked_md5.correct_key, vectors=16,
+                       rng=random.Random(seed))
+    info = plan_cache_info()
+    assert info.misses == 1
+    assert info.hits == 4

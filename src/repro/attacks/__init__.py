@@ -16,6 +16,7 @@ from .kpa import (
     aggregate_by,
     average_kpa,
     functional_kpa,
+    functional_kpa_many,
     kpa,
 )
 from .locality import FEATURE_SETS, Locality, LocalityExtractor
@@ -32,6 +33,7 @@ __all__ = [
     "aggregate_by",
     "average_kpa",
     "functional_kpa",
+    "functional_kpa_many",
     "kpa",
     "FEATURE_SETS",
     "Locality",

@@ -46,8 +46,10 @@ def functional_kpa(design, predicted: Sequence[int], vectors: int = 64,
     functionally equivalent to the secret key on the tested vectors even if
     some (irrelevant) bits are wrong.
 
-    Both key hypotheses are evaluated with the bit-parallel batch engine on
-    one shared input batch (two passes over one compiled plan).
+    Both key hypotheses evaluate as lanes of one bit-parallel sweep over the
+    design's cached plan (:func:`repro.sim.key_sweep`); designs the plan
+    compiler cannot express fall back to a per-key scalar loop with
+    identical numbers.
 
     Args:
         design: A locked :class:`~repro.rtlir.design.Design`.
@@ -59,23 +61,51 @@ def functional_kpa(design, predicted: Sequence[int], vectors: int = 64,
         ValueError: for unlocked designs, mismatched key lengths, or a
             non-positive vector count.
     """
-    from ..sim.batch import BatchSimulator, differing_lanes
+    return functional_kpa_many(design, [predicted], vectors=vectors,
+                               rng=rng)[0]
+
+
+def functional_kpa_many(design, candidates: Sequence[Sequence[int]],
+                        vectors: int = 64,
+                        rng: Optional[random.Random] = None) -> List[float]:
+    """Functional KPA of many candidate keys in one bit-parallel sweep.
+
+    The correct key and every candidate evaluate as lanes of a *single*
+    pass over one shared input batch — the key-trial pattern of attack
+    post-processing (model ensembles, per-bit flips, beam candidates) at the
+    cost of one batch call instead of ``len(candidates) + 1``.
+
+    Args:
+        design: A locked :class:`~repro.rtlir.design.Design`.
+        candidates: Candidate keys, each indexed by key position.
+        vectors: Number of random input vectors shared by all candidates.
+        rng: Random source for the input vectors.
+
+    Returns:
+        One functional-KPA percentage per candidate, in candidate order.
+
+    Raises:
+        ValueError: for unlocked designs, an empty candidate list,
+            mismatched key lengths, or a non-positive vector count.
+    """
+    from ..sim import differing_lanes, key_sweep, random_input_batch
 
     if not design.is_locked:
         raise ValueError("functional KPA requires a locked design")
     correct = design.correct_key
-    if len(predicted) != len(correct):
+    if not candidates:
+        raise ValueError("at least one candidate key is required")
+    if any(len(candidate) != len(correct) for candidate in candidates):
         raise ValueError("predicted and correct keys must have equal length")
     if vectors < 1:
         raise ValueError("vectors must be positive")
     rng = rng or random.Random()
 
-    simulator = BatchSimulator(design)
-    batch = simulator.random_batch(rng, vectors)
-    reference = simulator.run_batch(batch, key=correct, n=vectors)
-    candidate = simulator.run_batch(batch, key=list(predicted), n=vectors)
-    differing = len(differing_lanes(reference, candidate, n=vectors))
-    return 100.0 * (vectors - differing) / vectors
+    batch = random_input_batch(design, rng, vectors)
+    keys = [correct] + [list(candidate) for candidate in candidates]
+    reference, *candidate_runs = key_sweep(design, batch, keys, n=vectors)
+    return [100.0 * (vectors - len(differing_lanes(reference, run, n=vectors)))
+            / vectors for run in candidate_runs]
 
 
 @dataclass

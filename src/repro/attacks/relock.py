@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -73,8 +73,24 @@ class TrainingSetBuilder:
         self.pair_table = pair_table
         self.rng = rng or random.Random()
 
-    def build(self, target: Design) -> TrainingSet:
+    def build(self, target: Design,
+              progress: Optional[Callable[[int, int], None]] = None
+              ) -> TrainingSet:
         """Relock ``target`` ``rounds`` times and extract labelled localities.
+
+        Simulation-backed feature sets (``behavioral``) evaluate all of a
+        round's fresh key bits as lanes of a single bit-parallel key sweep
+        (:func:`repro.locking.metrics.key_bit_sensitivity`), one pass per
+        relocked copy instead of one pass per key bit; the relocked copy's
+        plan comes from the process-wide cache shared with the deployment
+        and validation steps.
+
+        Args:
+            target: The locked design to self-reference against.
+            progress: Optional callback invoked as ``progress(done, rounds)``
+                after every relocking round — long sweeps (the paper uses
+                1000 rounds) can report liveness without threading state
+                through the attack.
 
         Raises:
             ValueError: if the target is not locked (there is nothing to
@@ -100,6 +116,8 @@ class TrainingSetBuilder:
                 relocked.design, key_indices=list(new_indices))
             feature_blocks.append(features)
             label_blocks.append(labels)
+            if progress is not None:
+                progress(round_index + 1, self.rounds)
 
         features = np.vstack(feature_blocks) if feature_blocks else np.zeros((0, self.extractor.n_features))
         labels = np.concatenate(label_blocks) if label_blocks else np.zeros((0,), dtype=int)

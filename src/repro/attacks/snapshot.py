@@ -18,7 +18,7 @@ from __future__ import annotations
 import random
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -201,11 +201,17 @@ class SnapShotAttack:
 
     def validate_functionally(self, target: Design,
                               predicted: Sequence[int]) -> Optional[float]:
-        """Batch-simulate the predicted key against the correct one.
+        """Simulate the predicted key against the correct one.
+
+        Both keys evaluate as lanes of one bit-parallel sweep over the
+        target's plan, which comes from the process-wide cache — repeated
+        validations of one target (and any metric or equivalence check on
+        it) share a single compilation.  Designs the plan compiler cannot
+        express fall back to the scalar oracle per key.
 
         Returns ``None`` when functional validation is disabled
-        (``functional_vectors == 0``) or the design contains constructs the
-        batch plan compiler cannot express.  The validation rng is derived
+        (``functional_vectors == 0``) or the design cannot be simulated at
+        all (e.g. a combinational cycle).  The validation rng is derived
         from the target and prediction instead of ``self.rng`` so that
         enabling validation never shifts the random stream the attack steps
         draw from — bit-level KPA results stay identical either way.
@@ -225,6 +231,28 @@ class SnapShotAttack:
             return None
 
     def attack_many(self, targets: Sequence[Design],
-                    algorithm: Optional[str] = None) -> List[AttackResult]:
-        """Attack a list of locked samples (e.g. one benchmark locked N times)."""
-        return [self.attack(target, algorithm=algorithm) for target in targets]
+                    algorithm: Optional[str] = None,
+                    progress: Optional[
+                        Callable[[int, int, AttackResult], None]] = None,
+                    ) -> List[AttackResult]:
+        """Attack a list of locked samples (e.g. one benchmark locked N times).
+
+        Functional validation of every target draws its plan from the
+        process-wide cache (:func:`repro.sim.get_plan`), so samples sharing
+        a netlist — and repeated sweeps over the same sample list — compile
+        once instead of once per attack.
+
+        Args:
+            targets: Locked designs to attack in order.
+            algorithm: Optional locking-algorithm name recorded per result.
+            progress: Optional callback invoked as
+                ``progress(done, total, result)`` after every completed
+                attack — the liveness hook for long sweeps.
+        """
+        results: List[AttackResult] = []
+        for index, target in enumerate(targets):
+            result = self.attack(target, algorithm=algorithm)
+            results.append(result)
+            if progress is not None:
+                progress(index + 1, len(targets), result)
+        return results

@@ -195,31 +195,55 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def cmd_sim_bench(args: argparse.Namespace) -> int:
-    """Compare the scalar and bit-parallel batch simulation engines."""
-    from .sim.bench import compare_engines, format_report, run_microbenchmark
+    """Compare the simulation engines and the key-sweep fast path."""
+    from .sim.bench import (compare_engines, compare_key_sweep,
+                            default_suite, format_report,
+                            format_sweep_report, report_json)
 
     if args.vectors < 1:
         raise SystemExit("error: --vectors must be positive")
     if args.repeats < 1:
         raise SystemExit("error: --repeats must be positive")
+    if args.keys < 1:
+        raise SystemExit("error: --keys must be positive")
     from .sim import BatchCompileError
 
-    try:
-        if args.input is not None:
-            design = _load_design(args.input, args.top)
-            results = [compare_engines(design, vectors=args.vectors,
-                                       rng=random.Random(args.seed),
-                                       repeats=args.repeats)]
+    if args.input is not None:
+        if args.key_file is not None:
+            design = _design_from_key_metadata(args.input, args.top,
+                                               args.key_file)
         else:
-            results = run_microbenchmark(vectors=args.vectors,
-                                         scale=args.scale,
-                                         seed=args.seed, repeats=args.repeats)
+            design = _load_design(args.input, args.top)
+        suite = [(design.name, design)]
+    else:
+        suite = default_suite(scale=args.scale, seed=args.seed)
+
+    try:
+        results = [compare_engines(design, vectors=args.vectors,
+                                   rng=random.Random(args.seed),
+                                   repeats=args.repeats, label=label)
+                   for label, design in suite]
+        sweeps = [compare_key_sweep(design, keys=args.keys,
+                                    vectors=args.vectors,
+                                    rng=random.Random(args.seed),
+                                    repeats=args.repeats, label=label)
+                  for label, design in suite if design.is_locked]
     except BatchCompileError as exc:
         raise SystemExit(f"error: design is not batch-compilable ({exc}); "
                          "only the scalar engine can simulate it")
     print(format_report(results))
-    if any(not item.outputs_match for item in results):
-        print("\nERROR: engines disagree — the batch plan is unsound here.")
+    if sweeps:
+        print()
+        print(format_sweep_report(sweeps))
+    if args.json is not None:
+        args.json.write_text(json.dumps(report_json(results, sweeps),
+                                        indent=2) + "\n")
+        print(f"\nJSON report written to {args.json}")
+    mismatched = (any(not item.outputs_match for item in results)
+                  or any(not item.outputs_match for item in sweeps))
+    if mismatched:
+        print("\nERROR: measured paths disagree — the batch plan is "
+              "unsound here.")
         return 1
     return 0
 
@@ -295,11 +319,21 @@ def build_parser() -> argparse.ArgumentParser:
                            help="Verilog file to measure (default: built-in "
                                 "design suite)")
     sim_bench.add_argument("--top", default=None)
+    sim_bench.add_argument("--key-file", type=Path, default=None,
+                           help="key metadata JSON produced by 'lock'; "
+                                "enables the key-sweep comparison on a "
+                                "locked input design")
     sim_bench.add_argument("--vectors", type=int, default=256)
+    sim_bench.add_argument("--keys", type=int, default=64,
+                           help="key hypotheses per key-sweep comparison")
     sim_bench.add_argument("--scale", type=float, default=0.25,
                            help="benchmark scale of the built-in suite")
     sim_bench.add_argument("--repeats", type=int, default=3)
     sim_bench.add_argument("--seed", type=int, default=0)
+    sim_bench.add_argument("--json", type=Path, nargs="?",
+                           const=Path("BENCH_sim.json"), default=None,
+                           help="write per-engine timings and speedups as "
+                                "JSON (default path: BENCH_sim.json)")
     sim_bench.set_defaults(func=cmd_sim_bench)
 
     return parser

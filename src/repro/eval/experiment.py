@@ -22,7 +22,7 @@ from __future__ import annotations
 import random
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..attacks.kpa import KpaAggregate, KpaSample, aggregate_by
 from ..attacks.snapshot import AttackResult, SnapShotAttack
@@ -173,13 +173,28 @@ class SnapShotExperiment:
 
     # ---------------------------------------------------------------- running
 
-    def run(self) -> ExperimentResult:
-        """Run every (benchmark, algorithm) cell of the configuration."""
+    def run(self, progress: Optional[Callable[[int, int, CellResult], None]]
+            = None) -> ExperimentResult:
+        """Run every (benchmark, algorithm) cell of the configuration.
+
+        Functional validation (``functional_vectors > 0``) draws every
+        sample's evaluation plan from the process-wide cache, so repeated
+        checks of one locked sample compile its netlist exactly once.
+
+        Args:
+            progress: Optional callback invoked as
+                ``progress(done_cells, total_cells, cell)`` after every
+                completed (benchmark, algorithm) cell.
+        """
         result = ExperimentResult(config=self.config)
+        total = len(self.config.benchmarks) * len(self.config.algorithms)
         for benchmark in self.config.benchmarks:
             design = self.load_design(benchmark)
             for algorithm in self.config.algorithms:
-                result.cells.append(self.run_cell(design, benchmark, algorithm))
+                cell = self.run_cell(design, benchmark, algorithm)
+                result.cells.append(cell)
+                if progress is not None:
+                    progress(len(result.cells), total, cell)
         return result
 
     def load_design(self, benchmark: str) -> Design:

@@ -186,6 +186,11 @@ class LockingSession:
                      dummy_op=dummy_op, metadata=dict(metadata or {}))
         self.design.key_bits.append(bit)
         self._update_key_port_width()
+        # Every session mutation passes through here or _release_key_bits;
+        # dropping the memoized fingerprint keeps the plan cache honest even
+        # when a lock/undo/relock sequence restores the cheap mutation token
+        # (same key width and item count, different netlist).
+        self.design.invalidate_fingerprint()
         return bit
 
     def _release_key_bits(self, bits: Sequence[KeyBit]) -> None:
@@ -198,6 +203,7 @@ class LockingSession:
             self._update_key_port_width()
         else:
             self._remove_key_port_if_unused()
+        self.design.invalidate_fingerprint()
 
     def _key_bit_expr(self, index: int) -> ast.Expression:
         assert self.design.key_port is not None

@@ -225,23 +225,16 @@ class FunctionalCorruptionReport:
         return float(min(self.per_key_rates))
 
 
-def _sample_wrong_key(correct: Sequence[int], rng: random.Random) -> List[int]:
-    """Draw a uniformly random key different from ``correct``."""
-    while True:
-        candidate = [rng.randint(0, 1) for _ in correct]
-        if candidate != list(correct):
-            return candidate
-
-
 def functional_corruption(design, correct_key: Optional[Sequence[int]] = None,
                           vectors: int = 64, wrong_keys: int = 8,
                           rng: Optional[random.Random] = None,
                           ) -> FunctionalCorruptionReport:
     """Measure output corruption of ``design`` under sampled wrong keys.
 
-    One input batch is simulated once under ``correct_key`` and once per
-    sampled wrong key; the compiled batch plan is shared across all runs, so
-    the cost is ``wrong_keys + 1`` bit-parallel passes.
+    All ``wrong_keys + 1`` key hypotheses evaluate as lanes of a *single*
+    bit-parallel sweep over the design's cached plan
+    (:func:`repro.sim.key_sweep`); designs the plan compiler cannot express
+    fall back to a per-key scalar loop with identical numbers.
 
     Args:
         design: A locked :class:`~repro.rtlir.design.Design`.
@@ -253,7 +246,8 @@ def functional_corruption(design, correct_key: Optional[Sequence[int]] = None,
     Raises:
         ValueError: if the design is not locked or sizes are non-positive.
     """
-    from ..sim.batch import BatchSimulator, differing_lanes
+    from ..sim import (differing_lanes, key_sweep, output_signals,
+                       random_input_batch, random_wrong_key)
 
     if not design.is_locked:
         raise ValueError("functional corruption requires a locked design")
@@ -263,18 +257,17 @@ def functional_corruption(design, correct_key: Optional[Sequence[int]] = None,
     correct = list(correct_key) if correct_key is not None \
         else design.correct_key
 
-    simulator = BatchSimulator(design)
-    batch = simulator.random_batch(rng, vectors)
-    reference = simulator.run_batch(batch, key=correct, n=vectors)
-    output_widths = {name: simulator.width_of(name)
-                     for name in simulator.output_names}
+    batch = random_input_batch(design, rng, vectors)
+    wrongs = [random_wrong_key(correct, rng) for _ in range(wrong_keys)]
+    reference, *corrupted_runs = key_sweep(design, batch, [correct] + wrongs,
+                                           n=vectors)
+    output_widths = {name: width for name, width in output_signals(design)
+                     if name in reference}
     total_bits_per_vector = sum(output_widths.values())
 
     per_key_rates: List[float] = []
     flipped_bits = 0
-    for _ in range(wrong_keys):
-        wrong = _sample_wrong_key(correct, rng)
-        corrupted = simulator.run_batch(batch, key=wrong, n=vectors)
+    for corrupted in corrupted_runs:
         lanes = differing_lanes(reference, corrupted, n=vectors)
         for lane in lanes:
             for name in output_widths:
@@ -304,14 +297,17 @@ def key_bit_sensitivity(design, base_key: Optional[Sequence[int]] = None,
     secret — so the profile doubles as an oracle-free behavioural feature
     (see the ``behavioral`` locality feature set).
 
-    The compiled batch plan is reused for the base run plus one run per
-    probed key bit: ``len(key_indices) + 1`` bit-parallel passes in total.
+    The base key and every flipped key evaluate as lanes of a *single*
+    bit-parallel sweep over the design's cached plan — one pass for
+    ``len(key_indices) + 1`` hypotheses instead of one pass each.  Designs
+    the plan compiler cannot express fall back to a per-key scalar loop with
+    identical numbers.
 
     Raises:
         ValueError: if the design is not locked, ``vectors`` is not positive,
             or an index is out of the key's range.
     """
-    from ..sim.batch import BatchSimulator, differing_lanes
+    from ..sim import differing_lanes, key_sweep, random_input_batch
 
     if not design.is_locked:
         raise ValueError("key-bit sensitivity requires a locked design")
@@ -325,15 +321,13 @@ def key_bit_sensitivity(design, base_key: Optional[Sequence[int]] = None,
     if any(index < 0 or index >= design.key_width for index in indices):
         raise ValueError("key index out of range")
 
-    simulator = BatchSimulator(design)
-    batch = simulator.random_batch(rng, vectors)
-    reference = simulator.run_batch(batch, key=base, n=vectors)
-
-    sensitivities: List[float] = []
+    batch = random_input_batch(design, rng, vectors)
+    keys: List[List[int]] = [base]
     for index in indices:
         flipped = list(base)
         flipped[index] = 1 - flipped[index]
-        outputs = simulator.run_batch(batch, key=flipped, n=vectors)
-        sensitivities.append(
-            len(differing_lanes(reference, outputs, n=vectors)) / vectors)
-    return sensitivities
+        keys.append(flipped)
+    reference, *flipped_runs = key_sweep(design, batch, keys, n=vectors)
+
+    return [len(differing_lanes(reference, outputs, n=vectors)) / vectors
+            for outputs in flipped_runs]

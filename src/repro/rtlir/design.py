@@ -14,9 +14,10 @@ accessors for operation sites.
 from __future__ import annotations
 
 import copy
+import hashlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..verilog import ast_nodes as ast
 from ..verilog.codegen import generate
@@ -79,6 +80,7 @@ class Design:
         self.key_port = key_port
         self.key_bits: List[KeyBit] = list(key_bits or [])
         self.name = name or self.top_name
+        self._fingerprint: Optional[Tuple[tuple, str]] = None
 
     # ------------------------------------------------------------ construction
 
@@ -153,6 +155,43 @@ class Design:
     def num_operations(self) -> int:
         """Total number of lockable operation sites in the top module."""
         return len(self.sites())
+
+    def fingerprint(self) -> str:
+        """Content fingerprint of the simulated netlist (plan-cache key).
+
+        The fingerprint covers everything combinational simulation depends
+        on — the rendered source of all modules, the top-module name and the
+        key port — but *not* the key-bit records: the correct key steers
+        which values are bound, never how the netlist evaluates, so designs
+        differing only in key metadata share one compiled plan.
+
+        The value is memoized per instance behind a cheap mutation token
+        (source object identity, key width, top-module item count).  The
+        token alone is *not* a content guarantee — a lock → undo → relock
+        sequence can restore it while the netlist differs — so
+        :class:`~repro.locking.base.LockingSession` additionally calls
+        :meth:`invalidate_fingerprint` on every mutation it performs.  Any
+        other in-place AST surgery must do the same before the design is
+        simulated again.
+        """
+        token = (id(self.source), self.key_port, self.key_width,
+                 len(self.top.items))
+        cached = self._fingerprint
+        if cached is not None and cached[0] == token:
+            return cached[1]
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(self.top_name.encode())
+        digest.update(b"\x00")
+        digest.update((self.key_port or "").encode())
+        digest.update(b"\x00")
+        digest.update(self.to_verilog().encode())
+        value = digest.hexdigest()
+        self._fingerprint = (token, value)
+        return value
+
+    def invalidate_fingerprint(self) -> None:
+        """Drop the memoized fingerprint after in-place AST mutation."""
+        self._fingerprint = None
 
     # ------------------------------------------------------------- conversion
 

@@ -12,24 +12,57 @@ Both validate the locking contract — with the correct key the locked design
 is functionally equivalent to the original, with a wrong key the outputs are
 corrupted.  :func:`check_equivalence` and :func:`output_corruption` use the
 batch engine by default and fall back to the scalar oracle for constructs the
-plan compiler cannot express.  :mod:`repro.sim.bench` measures the speedup.
+plan compiler cannot express.
+
+On top of per-vector batching, three layers serve the attack-side hot loops:
+
+* :func:`key_sweep` / :meth:`BatchSimulator.run_sweep` — N key hypotheses (or
+  per-point input bindings) evaluate as lanes of *one* pass instead of N
+  batch calls, with automatic per-key scalar fallback,
+* :func:`get_plan` — a process-wide LRU plan cache keyed by
+  :meth:`Design.fingerprint() <repro.rtlir.design.Design.fingerprint>`, so
+  equivalence checks, metrics, KPA and SnapShot stop recompiling one design,
+* :mod:`repro.sim.vectors` — the single seeded random-vector/key sampler all
+  consumers draw from, making sweeps reproducible from one ``rng``.
+
+:mod:`repro.sim.bench` measures the speedups.
 """
 
 from .batch import (
     BatchCompileError,
     BatchSimulator,
     EvalPlan,
+    PlanStats,
     compile_plan,
+    differing_lanes,
     pack_values,
     unpack_values,
 )
 from .evaluator import ExpressionEvaluator, SimulationError, mask
+from .plan_cache import (
+    PlanCacheInfo,
+    cached_simulator,
+    clear_plan_cache,
+    get_plan,
+    plan_cache_info,
+    set_plan_cache_size,
+)
 from .simulator import (
     ENGINES,
     CombinationalSimulator,
     EquivalenceReport,
     check_equivalence,
+    key_sweep,
     output_corruption,
+)
+from .vectors import (
+    batch_to_vectors,
+    input_signals,
+    output_signals,
+    random_input_batch,
+    random_key,
+    random_vector_batch,
+    random_wrong_key,
 )
 
 __all__ = [
@@ -40,11 +73,27 @@ __all__ = [
     "EquivalenceReport",
     "check_equivalence",
     "output_corruption",
+    "key_sweep",
     "ENGINES",
     "BatchCompileError",
     "BatchSimulator",
     "EvalPlan",
+    "PlanStats",
     "compile_plan",
+    "differing_lanes",
     "pack_values",
     "unpack_values",
+    "PlanCacheInfo",
+    "cached_simulator",
+    "clear_plan_cache",
+    "get_plan",
+    "plan_cache_info",
+    "set_plan_cache_size",
+    "batch_to_vectors",
+    "input_signals",
+    "output_signals",
+    "random_input_batch",
+    "random_key",
+    "random_vector_batch",
+    "random_wrong_key",
 ]

@@ -14,7 +14,18 @@ ordered list of slot assignments whose expressions have been translated into
 closures over bit-slice ALU primitives (ripple-carry add, shift-and-add
 multiply, restoring division, barrel shifters, mask-select muxes).  Repeated
 calls with different keys or inputs reuse the same plan, which is the hot
-pattern of key trials, corruption profiling and equivalence sweeps.
+pattern of key trials, corruption profiling and equivalence sweeps;
+:mod:`repro.sim.plan_cache` extends the reuse process-wide.  Compilation
+runs two value-neutral plan optimisations: subexpressions occurring more
+than once become shared ``$cseN`` steps evaluated once per pass, and steps
+no combinational output transitively reads are pruned (``plan.stats``).
+
+Batching composes across two axes: :meth:`BatchSimulator.run_batch` packs N
+input vectors into the lanes of one pass, and
+:meth:`BatchSimulator.run_sweep` additionally lays S sweep points — each
+binding its own key and/or designated input values — side by side, so
+``S * V`` (key, input) combinations evaluate in a single pass instead of S
+batch calls.
 
 Semantics are **bit-identical** to the scalar evaluator: unsigned two-valued
 logic, a 32-bit working width for binary/unary results, division by zero
@@ -33,8 +44,9 @@ engine in that case.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import (Callable, Dict, FrozenSet, Iterable, List, Mapping,
+                    Optional, Sequence, Set, Tuple)
 
 from ..rtlir.design import Design
 from ..verilog import ast_nodes as ast
@@ -221,6 +233,76 @@ def _shift_right_var(a: Slices, amount: Slices, full: int) -> Slices:
 
 
 # ---------------------------------------------------------------------------
+# Structural subexpression identity (common-subexpression elimination)
+# ---------------------------------------------------------------------------
+
+#: Expression node types worth hoisting into a shared plan step.  Identifier
+#: and constant reads are excluded: sharing them saves nothing over the
+#: direct read/materialise closure.
+_HOISTABLE = (ast.BinaryOp, ast.UnaryOp, ast.TernaryOp, ast.Concat,
+              ast.Replication, ast.BitSelect, ast.PartSelect,
+              ast.IndexedPartSelect)
+
+
+def _structural_key(expr: ast.Expression, memo: Dict[int, tuple]) -> tuple:
+    """Structural identity of ``expr``: equal keys compile to equal values.
+
+    Keys are built bottom-up and memoized by node id, so walking a whole
+    design costs one visit per AST node.  Node types the compiler does not
+    know are keyed by identity — they never alias anything.
+    """
+    key = memo.get(id(expr))
+    if key is not None:
+        return key
+    if isinstance(expr, ast.Identifier):
+        key = ("id", expr.name)
+    elif isinstance(expr, ast.IntConst):
+        key = ("const", expr.value)
+    elif isinstance(expr, ast.UnaryOp):
+        key = ("un", expr.op, _structural_key(expr.operand, memo))
+    elif isinstance(expr, ast.BinaryOp):
+        key = ("bin", expr.op, _structural_key(expr.left, memo),
+               _structural_key(expr.right, memo))
+    elif isinstance(expr, ast.TernaryOp):
+        key = ("tern", _structural_key(expr.cond, memo),
+               _structural_key(expr.true_value, memo),
+               _structural_key(expr.false_value, memo))
+    elif isinstance(expr, ast.Concat):
+        key = ("cat",) + tuple(_structural_key(part, memo)
+                               for part in expr.parts)
+    elif isinstance(expr, ast.Replication):
+        key = ("rep", _structural_key(expr.count, memo),
+               _structural_key(expr.value, memo))
+    elif isinstance(expr, ast.BitSelect):
+        key = ("bit", _structural_key(expr.target, memo),
+               _structural_key(expr.index, memo))
+    elif isinstance(expr, ast.PartSelect):
+        key = ("part", _structural_key(expr.target, memo),
+               _structural_key(expr.msb, memo),
+               _structural_key(expr.lsb, memo))
+    elif isinstance(expr, ast.IndexedPartSelect):
+        key = ("ipart", expr.direction, _structural_key(expr.target, memo),
+               _structural_key(expr.base, memo),
+               _structural_key(expr.width, memo))
+    else:
+        key = ("opaque", id(expr))
+    memo[id(expr)] = key
+    return key
+
+
+def _shared_subexpressions(exprs: Iterable[ast.Expression]) -> FrozenSet[tuple]:
+    """Structural keys of hoistable subexpressions occurring more than once."""
+    memo: Dict[int, tuple] = {}
+    counts: Dict[tuple, int] = {}
+    for expr in exprs:
+        for node in expr.iter_tree():
+            if isinstance(node, _HOISTABLE):
+                key = _structural_key(node, memo)
+                counts[key] = counts.get(key, 0) + 1
+    return frozenset(key for key, count in counts.items() if count > 1)
+
+
+# ---------------------------------------------------------------------------
 # Expression compilation
 # ---------------------------------------------------------------------------
 
@@ -231,15 +313,48 @@ class _Compiler:
     Width bookkeeping happens at compile time: every compiled expression
     carries the exact number of slices it produces, so the runtime never
     touches slices that are provably zero.
+
+    When ``shared`` structural keys are supplied, every subexpression whose
+    key is shared is compiled exactly once into a synthetic ``$cseN`` plan
+    step; further occurrences become slot reads.  The compiler also records,
+    per emitted step, the set of signal/slot names its closure reads — the
+    dependency edges the dead-step pruning pass walks.
     """
 
     def __init__(self, widths: Mapping[str, int],
-                 default_width: int = WORKING_WIDTH) -> None:
+                 default_width: int = WORKING_WIDTH,
+                 shared: FrozenSet[tuple] = frozenset()) -> None:
         self.widths = dict(widths)
         self.default_width = default_width
+        self.shared = shared
+        self._key_memo: Dict[int, tuple] = {}
+        self._cse_slots: Dict[tuple, Tuple[str, int]] = {}
+        self._pending_steps: List[Tuple[str, int, CompiledExpr, Set[str]]] = []
+        self._dep_stack: List[Set[str]] = []
 
     def width_of(self, name: str) -> int:
         return self.widths.get(name, self.default_width)
+
+    @property
+    def cse_slot_count(self) -> int:
+        """Number of shared-subexpression slots emitted so far."""
+        return len(self._cse_slots)
+
+    def _record_dep(self, name: str) -> None:
+        if self._dep_stack:
+            self._dep_stack[-1].add(name)
+
+    def compile_step(self, expr: ast.Expression
+                     ) -> Tuple[CompiledExpr, int, Set[str]]:
+        """Compile a top-level assignment: ``(closure, width, read names)``."""
+        self._dep_stack.append(set())
+        fn, width = self.compile(expr)
+        return fn, width, self._dep_stack.pop()
+
+    def take_pending_steps(self) -> List[Tuple[str, int, CompiledExpr, Set[str]]]:
+        """Drain CSE steps emitted since the last call (in dependency order)."""
+        pending, self._pending_steps = self._pending_steps, []
+        return pending
 
     def compile(self, expr: ast.Expression) -> Tuple[CompiledExpr, int]:
         """Return ``(closure, width)`` for ``expr``.
@@ -248,11 +363,36 @@ class _Compiler:
             BatchCompileError: for constructs the plan cannot express
                 statically (the caller falls back to the scalar engine).
         """
+        if self.shared and isinstance(expr, _HOISTABLE):
+            key = _structural_key(expr, self._key_memo)
+            if key in self.shared:
+                slot_info = self._cse_slots.get(key)
+                if slot_info is None:
+                    self._dep_stack.append(set())
+                    fn, width = self._compile(expr)
+                    deps = self._dep_stack.pop()
+                    slot = f"$cse{len(self._cse_slots)}"
+                    self.widths[slot] = width
+                    slot_info = (slot, width)
+                    self._cse_slots[key] = slot_info
+                    self._pending_steps.append((slot, width, fn, deps))
+                slot, width = slot_info
+                self._record_dep(slot)
+
+                def read_slot(env: Dict[str, Slices], full: int,
+                              _name: str = slot) -> Slices:
+                    return env[_name]
+
+                return read_slot, width
+        return self._compile(expr)
+
+    def _compile(self, expr: ast.Expression) -> Tuple[CompiledExpr, int]:
         working = max(self.default_width, 1)
 
         if isinstance(expr, ast.Identifier):
             name = expr.name
             width = self.width_of(name)
+            self._record_dep(name)
 
             def read(env: Dict[str, Slices], full: int,
                      _name: str = name) -> Slices:
@@ -678,6 +818,23 @@ def _static_int(expr: ast.Expression) -> Optional[int]:
 # ---------------------------------------------------------------------------
 
 
+@dataclass(frozen=True)
+class PlanStats:
+    """Optimisation statistics of one :func:`compile_plan` run.
+
+    Attributes:
+        steps: Steps in the final plan (shared-subexpression slots included).
+        cse_steps: Synthetic ``$cseN`` steps emitted for subexpressions that
+            occur more than once (before pruning).
+        pruned_steps: Steps removed because no combinational output depends
+            on them (dead assignments and unused CSE slots alike).
+    """
+
+    steps: int = 0
+    cse_steps: int = 0
+    pruned_steps: int = 0
+
+
 @dataclass
 class EvalPlan:
     """A design compiled for bit-parallel evaluation.
@@ -688,6 +845,7 @@ class EvalPlan:
         outputs: Combinational output names in declaration order.
         widths: Declared signal widths.
         key_port: Name of the key input port, if any.
+        stats: Shared-subexpression / dead-step statistics of the compile.
     """
 
     steps: List[Tuple[str, int, CompiledExpr]]
@@ -695,14 +853,25 @@ class EvalPlan:
     outputs: List[str]
     widths: Dict[str, int]
     key_port: Optional[str]
+    stats: PlanStats = field(default_factory=PlanStats)
 
     def width_of(self, name: str) -> int:
         """Declared width of a signal (working width when unknown)."""
         return self.widths.get(name, WORKING_WIDTH)
 
 
-def compile_plan(design: Design) -> EvalPlan:
+def compile_plan(design: Design, cse: bool = True,
+                 prune: bool = True) -> EvalPlan:
     """Compile ``design`` into an :class:`EvalPlan`.
+
+    Args:
+        design: The design to compile.
+        cse: Hoist subexpressions that occur more than once into shared
+            ``$cseN`` steps, each evaluated once per pass.  Values are
+            bit-identical either way — every compiled closure produces
+            exactly its declared slice count, so a slot read reproduces the
+            inline result.
+        prune: Drop steps no combinational output transitively reads.
 
     Raises:
         SimulationError: for combinational dependency cycles.
@@ -710,21 +879,41 @@ def compile_plan(design: Design) -> EvalPlan:
     """
     module = design.top
     widths = _declared_widths(module)
-    compiler = _Compiler(widths)
+    assignments = _ordered_assignments(module)
+    shared = _shared_subexpressions(expr for _, expr in assignments) \
+        if cse else frozenset()
+    compiler = _Compiler(widths, shared=shared)
     inputs = [port.name for port in module.ports if port.direction == "input"]
     output_ports = [port.name for port in module.ports
                     if port.direction == "output"]
 
-    steps: List[Tuple[str, int, CompiledExpr]] = []
+    raw_steps: List[Tuple[str, int, CompiledExpr, Set[str]]] = []
     driven = set()
-    for name, expr in _ordered_assignments(module):
-        fn, _ = compiler.compile(expr)
-        steps.append((name, compiler.width_of(name), fn))
+    for name, expr in assignments:
+        fn, _, deps = compiler.compile_step(expr)
+        raw_steps.extend(compiler.take_pending_steps())
+        raw_steps.append((name, compiler.width_of(name), fn, deps))
         driven.add(name)
 
     outputs = [name for name in output_ports if name in driven]
+    pruned = 0
+    if prune:
+        live: Set[str] = set(outputs)
+        kept: List[Tuple[str, int, CompiledExpr]] = []
+        for name, width, fn, deps in reversed(raw_steps):
+            if name in live:
+                kept.append((name, width, fn))
+                live.update(deps)
+            else:
+                pruned += 1
+        steps = kept[::-1]
+    else:
+        steps = [(name, width, fn) for name, width, fn, _ in raw_steps]
+
+    stats = PlanStats(steps=len(steps), cse_steps=compiler.cse_slot_count,
+                      pruned_steps=pruned)
     return EvalPlan(steps=steps, inputs=inputs, outputs=outputs,
-                    widths=widths, key_port=design.key_port)
+                    widths=widths, key_port=design.key_port, stats=stats)
 
 
 # ---------------------------------------------------------------------------
@@ -887,6 +1076,132 @@ class BatchSimulator:
         return {name: unpack_values(env[name], lanes)
                 for name in self.plan.outputs}
 
+    def run_sweep(self, inputs: Mapping[str, Sequence[int]],
+                  keys: Optional[Sequence[Sequence[int]]] = None,
+                  bindings: Optional[Sequence[Mapping[str, int]]] = None,
+                  n: Optional[int] = None) -> List[Dict[str, List[int]]]:
+        """Evaluate S sweep points over one shared input batch in one pass.
+
+        A sweep is the outer product of a *base batch* (``inputs``, V lanes)
+        and S *sweep points*, each binding its own key and/or values for
+        designated input signals.  All ``S * V`` combinations are laid out as
+        lanes of a single bit-parallel pass — the replacement for the per-key
+        loop ``[run_batch(inputs, key=k) for k in keys]``, which pays the
+        plan-interpretation overhead S times instead of once.
+
+        Args:
+            inputs: Shared base batch ``{input name: [value per lane]}``; all
+                sequences must share one length.  Signals bound per point must
+                not also appear here.
+            keys: One key per sweep point (requires a locked design).
+            bindings: Per-point input overrides ``{input name: value}``; the
+                value is broadcast over the point's base lanes.  A signal
+                bound in one point but omitted in another defaults to 0 for
+                the latter.  The key port must be swept via ``keys``.
+            n: Base lane count override, required when ``inputs`` is empty.
+
+        Returns:
+            One ``{output name: [value per base lane]}`` dict per sweep
+            point, in point order — element ``s`` equals
+            ``run_batch(inputs, key=keys[s])`` bit for bit.
+
+        Raises:
+            SimulationError: for unknown signals, inconsistent lane or point
+                counts, invalid key bits, or key sweeps on unlocked designs.
+        """
+        base = n
+        for name, values in inputs.items():
+            if base is None:
+                base = len(values)
+            elif len(values) != base:
+                raise SimulationError(
+                    f"input {name!r} has {len(values)} lanes, expected {base}")
+        if base is None or base < 1:
+            raise SimulationError("sweep needs at least one base lane "
+                                  "(pass inputs or n)")
+        points = len(keys) if keys is not None else None
+        if bindings is not None:
+            if points is None:
+                points = len(bindings)
+            elif len(bindings) != points:
+                raise SimulationError(
+                    f"got {len(bindings)} bindings for {points} sweep points")
+        if points is None or points < 1:
+            raise SimulationError("sweep needs at least one point "
+                                  "(pass keys or bindings)")
+        key_port = self.plan.key_port
+        if keys is not None and key_port is None:
+            raise SimulationError("cannot sweep keys of an unlocked design")
+
+        lanes = points * base
+        full = (1 << lanes) - 1
+        block = (1 << base) - 1
+        # Replicating a V-lane slice into every point's lane block is one
+        # multiplication by the block-comb constant 0b...0001...0001.
+        tile = full // block
+
+        known = set(self.plan.inputs)
+        bound: Set[str] = set()
+        for point in bindings or ():
+            bound.update(point)
+        env: Dict[str, Slices] = {}
+        for name, values in inputs.items():
+            if name not in known:
+                raise SimulationError(f"{name!r} is not an input of "
+                                      f"{self.design.top_name!r}")
+            if name in bound:
+                raise SimulationError(
+                    f"input {name!r} is both shared and swept per point")
+            env[name] = [word * tile
+                         for word in pack_values(values, self.width_of(name))]
+        for name in bound:
+            if name not in known:
+                raise SimulationError(f"{name!r} is not an input of "
+                                      f"{self.design.top_name!r}")
+            if name == key_port:
+                raise SimulationError(
+                    "sweep the key port via 'keys', not 'bindings'")
+            width = self.width_of(name)
+            slices = [0] * width
+            for index, point in enumerate(bindings or ()):
+                if name not in point:
+                    continue
+                value = mask(int(point[name]), width)
+                shift = index * base
+                while value:
+                    low = value & -value
+                    slices[low.bit_length() - 1] |= block << shift
+                    value ^= low
+            env[name] = slices
+        for name in self.plan.inputs:
+            if name not in env:
+                env[name] = [0] * self.width_of(name)
+        if keys is not None and key_port is not None:
+            width = self.width_of(key_port)
+            slices = [0] * width
+            for index, point_key in enumerate(keys):
+                shift = index * base
+                for position, bit in enumerate(point_key):
+                    if bit not in (0, 1):
+                        raise SimulationError(
+                            f"key bit {position} of sweep point {index} "
+                            "is not 0/1")
+                    if bit and position < width:
+                        slices[position] |= block << shift
+            env[key_port] = slices
+
+        for name, width, fn in self.plan.steps:
+            env[name] = _fit(fn(env, full), width)
+
+        results: List[Dict[str, List[int]]] = []
+        for index in range(points):
+            shift = index * base
+            results.append(
+                {name: unpack_values([(word >> shift) & block
+                                      for word in env[name]], base)
+                 for name in self.plan.outputs})
+        return results
+
     def run(self, inputs: Mapping[str, int],
             key: Optional[Sequence[int]] = None) -> Dict[str, int]:
         """Single-vector convenience wrapper around :meth:`run_batch`."""
@@ -898,17 +1213,15 @@ class BatchSimulator:
                      n: int) -> Dict[str, List[int]]:
         """Draw ``n`` random vectors for every data input (key port excluded).
 
-        The random stream is consumed in exactly the same order as ``n``
-        calls to :meth:`CombinationalSimulator.random_vector`, so a shared
-        ``rng`` seed produces identical test vectors on both engines.
+        Delegates to :func:`repro.sim.vectors.random_vector_batch`, which
+        consumes the random stream in exactly the same order as ``n`` calls
+        to :meth:`CombinationalSimulator.random_vector`, so a shared ``rng``
+        seed produces identical test vectors on both engines.
         """
-        names = [name for name in self.plan.inputs
-                 if name != self.plan.key_port]
-        batch: Dict[str, List[int]] = {name: [] for name in names}
-        for _ in range(n):
-            for name in names:
-                batch[name].append(rng.getrandbits(self.width_of(name)))
-        return batch
+        from .vectors import random_vector_batch
+        signals = [(name, self.width_of(name)) for name in self.plan.inputs
+                   if name != self.plan.key_port]
+        return random_vector_batch(signals, rng, n)
 
 
 def _pack_key_broadcast(key: Sequence[int], full: int) -> Slices:

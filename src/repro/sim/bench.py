@@ -1,16 +1,22 @@
-"""Micro-benchmark harness comparing the scalar and batch engines.
+"""Micro-benchmark harness for the simulation engine layers.
 
-The harness answers one question with a measurement instead of an assertion:
-*how much faster is the bit-parallel batch engine than the per-vector scalar
-oracle on this design?*  Every comparison also cross-checks the two engines
-output-for-output, so a reported speedup is only ever produced alongside a
-bit-identical result.
+The harness answers two questions with measurements instead of assertions:
+
+* *how much faster is the bit-parallel batch engine than the per-vector
+  scalar oracle on this design?* (:func:`compare_engines`), and
+* *how much faster is a per-lane key sweep than the per-key batch loop it
+  replaces?* (:func:`compare_key_sweep`).
+
+Every comparison also cross-checks the measured paths output-for-output, so
+a reported speedup is only ever produced alongside a bit-identical result.
 
 Run it from the command line::
 
     PYTHONPATH=src python -m repro.cli sim-bench --vectors 256
+    PYTHONPATH=src python -m repro.cli sim-bench --json BENCH_sim.json
 
-or programmatically via :func:`compare_engines` / :func:`run_microbenchmark`.
+or programmatically via :func:`run_microbenchmark` /
+:func:`run_sweep_microbenchmark`.
 """
 
 from __future__ import annotations
@@ -18,7 +24,7 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..rtlir.design import Design
 from .batch import BatchSimulator
@@ -87,9 +93,9 @@ def compare_engines(design: Design, vectors: int = 256,
     batch = BatchSimulator(design)
     compile_seconds = time.perf_counter() - compile_start
 
-    vector_list = [scalar.random_vector(rng) for _ in range(vectors)]
-    packed = {name: [vector[name] for vector in vector_list]
-              for name in (vector_list[0] if vector_list else {})}
+    from .vectors import batch_to_vectors, random_input_batch
+    packed = random_input_batch(design, rng, vectors)
+    vector_list = batch_to_vectors(packed, vectors)
 
     def run_scalar() -> List[dict]:
         return [scalar.run(vector, key=key) for vector in vector_list]
@@ -125,19 +131,117 @@ def _best_time(fn: Callable, repeats: int) -> Tuple[float, object]:
     return best, result
 
 
+@dataclass
+class SweepComparison:
+    """Timing of one per-key-loop vs per-lane-sweep comparison.
+
+    Attributes:
+        design_name: Name of the measured (locked) design.
+        keys: Number of key hypotheses swept.
+        vectors: Input vectors per key hypothesis.
+        loop_seconds: Wall time of ``keys`` separate ``run_batch`` calls.
+        sweep_seconds: Wall time of one ``run_sweep`` pass over all keys.
+        outputs_match: True when both paths produced identical outputs.
+        cse_steps: Shared-subexpression steps in the design's plan.
+        pruned_steps: Dead steps removed from the design's plan.
+    """
+
+    design_name: str
+    keys: int
+    vectors: int
+    loop_seconds: float
+    sweep_seconds: float
+    outputs_match: bool
+    cse_steps: int
+    pruned_steps: int
+
+    @property
+    def speedup(self) -> float:
+        """Per-key-loop time over sweep time."""
+        if self.sweep_seconds <= 0.0:
+            return float("inf")
+        return self.loop_seconds / self.sweep_seconds
+
+
+def compare_key_sweep(design: Design, keys: int = 64, vectors: int = 32,
+                      rng: Optional[random.Random] = None,
+                      repeats: int = 3,
+                      label: Optional[str] = None) -> SweepComparison:
+    """Time the per-key batch loop against one per-lane key sweep.
+
+    Both paths share one compiled plan and one input batch; the loop pays
+    the plan-interpretation overhead once per key, the sweep once in total.
+    Outputs are cross-checked entry-for-entry.
+
+    Args:
+        design: A locked design.
+        keys: Number of random key hypotheses.
+        vectors: Input vectors shared by every hypothesis.
+        rng: Random source for vectors and key hypotheses.
+        repeats: Timing repetitions (best time kept).
+        label: Reported design name (defaults to ``design.name``).
+
+    Raises:
+        ValueError: for unlocked designs or non-positive sizes.
+    """
+    if not design.is_locked:
+        raise ValueError("key-sweep comparison requires a locked design")
+    if keys < 1 or vectors < 1:
+        raise ValueError("keys and vectors must be positive")
+    if repeats < 1:
+        raise ValueError("repeats must be positive")
+    rng = rng or random.Random(0)
+
+    from .vectors import random_key
+
+    simulator = BatchSimulator(design)
+    batch = simulator.random_batch(rng, vectors)
+    key_list = [random_key(design.key_width, rng) for _ in range(keys)]
+
+    def run_loop() -> List[dict]:
+        return [simulator.run_batch(batch, key=key, n=vectors)
+                for key in key_list]
+
+    def run_sweep() -> List[dict]:
+        return simulator.run_sweep(batch, keys=key_list, n=vectors)
+
+    loop_seconds, loop_outputs = _best_time(run_loop, repeats)
+    sweep_seconds, sweep_outputs = _best_time(run_sweep, repeats)
+
+    return SweepComparison(
+        design_name=label or design.name,
+        keys=keys,
+        vectors=vectors,
+        loop_seconds=loop_seconds,
+        sweep_seconds=sweep_seconds,
+        outputs_match=loop_outputs == sweep_outputs,
+        cse_steps=simulator.plan.stats.cse_steps,
+        pruned_steps=simulator.plan.stats.pruned_steps,
+    )
+
+
 def default_suite(scale: float = 0.25,
                   seed: int = 0) -> List[Tuple[str, Design]]:
-    """The default micro-benchmark designs: plain, locked, and imbalanced."""
+    """The default micro-benchmark designs: plain, locked, and imbalanced.
+
+    The ERA-locked entry carries the heaviest shared-subexpression load
+    (dummy operations duplicate operand subtrees), so it exercises the CSE
+    pass of the plan compiler.
+    """
     from ..bench import load_benchmark, plus_network
     from ..locking.assure import AssureLocker
+    from ..locking.era import ERALocker
 
     plus = plus_network(128, n_inputs=8, name="plus_128")
     md5 = load_benchmark("MD5", scale=scale, seed=seed)
     budget = max(1, int(0.75 * md5.num_operations()))
     locked = AssureLocker("serial", rng=random.Random(seed),
                           track_metrics=False).lock(md5, budget).design
+    era_locked = ERALocker(rng=random.Random(seed),
+                           track_metrics=False).lock(md5, budget).design
     return [("plus_128", plus), ("md5_scaled", md5),
-            ("md5_scaled_locked", locked)]
+            ("md5_scaled_locked", locked),
+            ("md5_scaled_era", era_locked)]
 
 
 def run_microbenchmark(vectors: int = 256, scale: float = 0.25,
@@ -148,6 +252,17 @@ def run_microbenchmark(vectors: int = 256, scale: float = 0.25,
                             rng=random.Random(seed), repeats=repeats,
                             label=label)
             for label, design in default_suite(scale=scale, seed=seed)]
+
+
+def run_sweep_microbenchmark(keys: int = 64, vectors: int = 32,
+                             scale: float = 0.25, seed: int = 0,
+                             repeats: int = 3) -> List[SweepComparison]:
+    """Run :func:`compare_key_sweep` over the locked suite designs."""
+    return [compare_key_sweep(design, keys=keys, vectors=vectors,
+                              rng=random.Random(seed), repeats=repeats,
+                              label=label)
+            for label, design in default_suite(scale=scale, seed=seed)
+            if design.is_locked]
 
 
 def format_report(results: Sequence[EngineComparison]) -> str:
@@ -163,3 +278,58 @@ def format_report(results: Sequence[EngineComparison]) -> str:
             f"{item.compile_seconds * 1e3:>13.2f} "
             f"{item.speedup:>7.1f}x {'yes' if item.outputs_match else 'NO'}")
     return "\n".join(lines)
+
+
+def format_sweep_report(results: Sequence[SweepComparison]) -> str:
+    """Render key-sweep comparisons as a fixed-width text table."""
+    header = (f"{'design':<20} {'keys':>5} {'vectors':>7} {'loop [ms]':>10} "
+              f"{'sweep [ms]':>11} {'speedup':>8} {'cse':>4} {'dead':>5} "
+              "match")
+    lines = [header, "-" * len(header)]
+    for item in results:
+        lines.append(
+            f"{item.design_name:<20} {item.keys:>5} {item.vectors:>7} "
+            f"{item.loop_seconds * 1e3:>10.2f} "
+            f"{item.sweep_seconds * 1e3:>11.2f} "
+            f"{item.speedup:>7.1f}x {item.cse_steps:>4} "
+            f"{item.pruned_steps:>5} "
+            f"{'yes' if item.outputs_match else 'NO'}")
+    return "\n".join(lines)
+
+
+def report_json(engine_results: Sequence[EngineComparison],
+                sweep_results: Sequence[SweepComparison]) -> Dict[str, object]:
+    """Serialise benchmark results for ``BENCH_sim.json`` (CI artifact).
+
+    The layout is flat and append-friendly so the perf trajectory can be
+    diffed across PRs: per-engine timings and speedups, then per-design key
+    sweeps with their plan-optimisation counters.
+    """
+    return {
+        "engines": [
+            {
+                "design": item.design_name,
+                "vectors": item.vectors,
+                "scalar_ms": item.scalar_seconds * 1e3,
+                "batch_ms": item.batch_seconds * 1e3,
+                "compile_ms": item.compile_seconds * 1e3,
+                "speedup": item.speedup,
+                "outputs_match": item.outputs_match,
+            }
+            for item in engine_results
+        ],
+        "key_sweeps": [
+            {
+                "design": item.design_name,
+                "keys": item.keys,
+                "vectors": item.vectors,
+                "loop_ms": item.loop_seconds * 1e3,
+                "sweep_ms": item.sweep_seconds * 1e3,
+                "speedup": item.speedup,
+                "cse_steps": item.cse_steps,
+                "pruned_steps": item.pruned_steps,
+                "outputs_match": item.outputs_match,
+            }
+            for item in sweep_results
+        ],
+    }

@@ -65,6 +65,9 @@ class CombinationalSimulator:
                         if port.direction == "input"]
         self._outputs = [port.name for port in module.ports
                          if port.direction == "output"]
+        self._data_signals = [(name, self.width_of(name))
+                              for name in self._inputs
+                              if name != design.key_port]
         self._assignments = _ordered_assignments(module)
 
     # ------------------------------------------------------------- accessors
@@ -122,12 +125,9 @@ class CombinationalSimulator:
 
     def random_vector(self, rng: random.Random) -> Dict[str, int]:
         """Draw a random value for every data input (key port excluded)."""
-        vector = {}
-        for name in self._inputs:
-            if name == self.design.key_port:
-                continue
-            vector[name] = rng.getrandbits(self.width_of(name))
-        return vector
+        from .vectors import random_vector_batch
+        batch = random_vector_batch(self._data_signals, rng, 1)
+        return {name: values[0] for name, values in batch.items()}
 
 
 def _pack_key(key: Sequence[int]) -> int:
@@ -206,10 +206,16 @@ ENGINES = ("batch", "scalar")
 
 
 def _batch_simulators(*designs: Design):
-    """Try to build batch simulators for every design; None on compile gaps."""
+    """Try to build batch simulators for every design; None on compile gaps.
+
+    Plans come from the process-wide cache, so repeated checks of the same
+    designs (metric sweeps, per-sample attack validation) compile once.
+    """
     from .batch import BatchCompileError, BatchSimulator
+    from .plan_cache import get_plan
     try:
-        return [BatchSimulator(design) for design in designs]
+        return [BatchSimulator(design, plan=get_plan(design))
+                for design in designs]
     except BatchCompileError:
         return None
 
@@ -312,8 +318,8 @@ def output_corruption(locked: Design, correct_key: Sequence[int],
             from .batch import differing_lanes
             (simulator,) = simulators
             batch = simulator.random_batch(rng, vectors)
-            good = simulator.run_batch(batch, key=correct_key, n=vectors)
-            bad = simulator.run_batch(batch, key=wrong_key, n=vectors)
+            good, bad = simulator.run_sweep(
+                batch, keys=[correct_key, wrong_key], n=vectors)
             return len(differing_lanes(good, bad, n=vectors)) / vectors
 
     simulator = CombinationalSimulator(locked)
@@ -325,3 +331,68 @@ def output_corruption(locked: Design, correct_key: Sequence[int],
         if good != bad:
             differing += 1
     return differing / vectors if vectors else 0.0
+
+
+def key_sweep(design: Design, inputs: Mapping[str, Sequence[int]],
+              keys: Sequence[Sequence[int]], n: Optional[int] = None,
+              engine: str = "batch") -> List[Dict[str, List[int]]]:
+    """Outputs of ``design`` under several key hypotheses on one shared batch.
+
+    The workhorse of every key-trial consumer (`functional_kpa`,
+    `key_bit_sensitivity`, `functional_corruption`): all ``len(keys)``
+    hypotheses evaluate as lanes of a single bit-parallel pass over the
+    design's cached plan.  Designs the plan compiler cannot express fall back
+    to a per-key scalar loop with bit-identical results — callers never see
+    the engine switch.
+
+    Args:
+        design: A locked design.
+        inputs: Shared input batch ``{input name: [value per lane]}``.
+        keys: Key hypotheses, one output dict per entry in the result.
+        n: Lane count override, required when ``inputs`` is empty.
+        engine: ``batch`` (sweep fast path, the default) or ``scalar``.
+
+    Returns:
+        One ``{output name: [value per lane]}`` dict per key, in key order.
+
+    Raises:
+        SimulationError: for unlocked designs, unknown inputs or
+            inconsistent lane counts.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown simulation engine {engine!r}; "
+                         f"expected one of {ENGINES}")
+    if design.key_port is None:
+        raise SimulationError("cannot sweep keys of an unlocked design")
+    lanes = n
+    for name, values in inputs.items():
+        if lanes is None:
+            lanes = len(values)
+        elif len(values) != lanes:
+            raise SimulationError(
+                f"input {name!r} has {len(values)} lanes, expected {lanes}")
+    if lanes is None or lanes < 1:
+        raise SimulationError("key sweep needs at least one lane "
+                              "(pass inputs or n)")
+    if len(keys) < 1:
+        raise SimulationError("key sweep needs at least one key hypothesis")
+
+    if engine == "batch":
+        simulators = _batch_simulators(design)
+        if simulators is not None:
+            (simulator,) = simulators
+            return simulator.run_sweep(inputs, keys=keys, n=lanes)
+
+    from .vectors import batch_to_vectors
+    simulator = CombinationalSimulator(design)
+    vectors = batch_to_vectors(inputs, lanes)
+    results: List[Dict[str, List[int]]] = []
+    for key in keys:
+        outputs: Dict[str, List[int]] = {name: []
+                                         for name in simulator.output_names}
+        for vector in vectors:
+            values = simulator.run(vector, key=key)
+            for name in outputs:
+                outputs[name].append(values[name])
+        results.append(outputs)
+    return results

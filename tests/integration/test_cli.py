@@ -125,3 +125,52 @@ class TestBenchAndEvaluate:
         out = capsys.readouterr().out
         assert "Average KPA" in out
         assert report_file.exists()
+
+
+class TestSimBench:
+    def test_suite_reports_engines_and_sweeps(self, capsys):
+        code = main(["sim-bench", "--vectors", "16", "--keys", "8",
+                     "--scale", "0.1", "--repeats", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scalar [ms]" in out
+        assert "sweep [ms]" in out
+        assert "NO" not in out
+
+    def test_json_report_written(self, tmp_path, capsys):
+        json_path = tmp_path / "BENCH_sim.json"
+        code = main(["sim-bench", "--vectors", "16", "--keys", "8",
+                     "--scale", "0.1", "--repeats", "1",
+                     "--json", str(json_path)])
+        assert code == 0
+        payload = json.loads(json_path.read_text())
+        assert {"engines", "key_sweeps"} == set(payload)
+        assert payload["engines"], "engine comparisons missing"
+        assert payload["key_sweeps"], "key-sweep comparisons missing"
+        for entry in payload["engines"]:
+            assert entry["outputs_match"] is True
+            assert entry["speedup"] > 0
+        for entry in payload["key_sweeps"]:
+            assert entry["outputs_match"] is True
+            assert {"cse_steps", "pruned_steps"} <= set(entry)
+
+    def test_single_design_sweep_needs_key_metadata(self, design_file,
+                                                    tmp_path, capsys):
+        locked = tmp_path / "locked.v"
+        key_file = tmp_path / "key.json"
+        assert main(["lock", str(design_file), "-a", "assure",
+                     "--key-bits", "4", "-o", str(locked),
+                     "--key-file", str(key_file)]) == 0
+        capsys.readouterr()
+        # A bare Verilog file has no key metadata: engines table only.
+        assert main(["sim-bench", str(locked), "--vectors", "8",
+                     "--keys", "4", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "scalar [ms]" in out
+        assert "sweep [ms]" not in out
+        # With --key-file the locked design gets a key-sweep comparison.
+        assert main(["sim-bench", str(locked), "--key-file", str(key_file),
+                     "--vectors", "8", "--keys", "4", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep [ms]" in out
+        assert "NO" not in out
