@@ -21,9 +21,9 @@ Quick start::
     print(f"KPA against ERA: {result.kpa:.1f} %")
 """
 
-from . import attacks, bench, eval, locking, ml, rtlir, sim, verilog
+from . import api, attacks, bench, eval, locking, ml, rtlir, sim, verilog
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["attacks", "bench", "eval", "locking", "ml", "rtlir", "sim",
-           "verilog", "__version__"]
+__all__ = ["api", "attacks", "bench", "eval", "locking", "ml", "rtlir",
+           "sim", "verilog", "__version__"]

@@ -1,0 +1,117 @@
+"""repro.api — the stable public facade of the evaluation pipeline.
+
+This package is the one import surface a workload author needs:
+
+* **Registries** (:mod:`repro.api.registry`) — ``@register_locker``,
+  ``@register_attack`` and ``@register_metric`` decorators plus the
+  ``make_locker``/``make_attack``/``make_metric`` lookups, so third-party
+  and experimental algorithms plug into the pipeline without touching
+  ``eval/``.
+* **Scenarios** (:mod:`repro.api.scenario`) — the declarative
+  :class:`Scenario` dataclass tree (benchmarks × lockers × attacks ×
+  metrics × samples) with validated JSON round-trips and deterministic
+  expansion into :class:`JobSpec` jobs.
+* **Runner** (:mod:`repro.api.runner`) — executes a scenario serially or on
+  a plan-cache-aware process pool, with ``progress`` callbacks and
+  bit-identical results either way.
+* **Results store** (:mod:`repro.api.store`) — one JSON record per job plus
+  an aggregate manifest; re-runs against an existing store skip completed
+  jobs, and the figure/table builders read from it.
+
+Minimal usage::
+
+    from repro.api import Runner, ResultsStore, Scenario
+
+    scenario = Scenario.from_file("scenario.json")
+    report = Runner(scenario, store=ResultsStore("runs/demo"), jobs=2).run()
+    print(report.average_kpa())
+
+The registry decorators are importable *before* the heavyweight pipeline
+modules load (``from repro.api import register_locker`` pulls in no
+simulation or ML code), which is what lets the built-in lockers, attacks and
+metrics self-register at class-definition time without import cycles.
+"""
+
+from __future__ import annotations
+
+from .registry import (
+    ATTACKS,
+    LOCKERS,
+    METRICS,
+    Registry,
+    UnknownComponentError,
+    attack_names,
+    locker_names,
+    make_attack,
+    make_locker,
+    make_metric,
+    metric_names,
+    register_attack,
+    register_locker,
+    register_metric,
+)
+
+__all__ = [
+    "ATTACKS",
+    "LOCKERS",
+    "METRICS",
+    "Registry",
+    "UnknownComponentError",
+    "attack_names",
+    "locker_names",
+    "make_attack",
+    "make_locker",
+    "make_metric",
+    "metric_names",
+    "register_attack",
+    "register_locker",
+    "register_metric",
+    # Lazily resolved (see __getattr__):
+    "AttackSpec",
+    "JobSpec",
+    "LockerSpec",
+    "MetricSpec",
+    "Scenario",
+    "ScenarioError",
+    "JobExecutionError",
+    "Runner",
+    "RunReport",
+    "execute_job",
+    "ResultsStore",
+    "StoreError",
+]
+
+#: Lazy attribute → defining submodule map (PEP 562).  The scenario/runner/
+#: store modules import the component packages, which in turn import this
+#: package for the registry decorators — resolving them on first access keeps
+#: that cycle open.
+_LAZY = {
+    "AttackSpec": "scenario",
+    "JobSpec": "scenario",
+    "LockerSpec": "scenario",
+    "MetricSpec": "scenario",
+    "Scenario": "scenario",
+    "ScenarioError": "scenario",
+    "JobExecutionError": "runner",
+    "Runner": "runner",
+    "RunReport": "runner",
+    "execute_job": "runner",
+    "ResultsStore": "store",
+    "StoreError": "store",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,401 @@
+"""Scenario execution: expand to jobs, run serially or on a process pool.
+
+The :class:`Runner` turns a declarative :class:`~repro.api.scenario.Scenario`
+into its flat job list (lock → attack and lock → measure units), skips jobs
+whose record already exists in the attached
+:class:`~repro.api.store.ResultsStore`, and executes the remainder either
+in-process (``jobs=1``) or on a ``ProcessPoolExecutor``.
+
+Parallel runs are *plan-cache aware* (the PR 2 open item): every job warms
+the process-wide plan cache with its locked sample's plan
+(:func:`repro.sim.warm_plan_cache`) before any simulation-backed step, so
+the batch-simulation consumers inside a worker — functional KPA, corruption
+metrics, avalanche studies — compile every distinct netlist once per worker
+instead of once per call.  Base benchmark designs are generated once per
+process and shared read-only across jobs (lockers copy before mutating).
+
+Every job derives its random streams from ``(seed, benchmark, locker,
+sample)`` alone (see :class:`~repro.api.scenario.JobSpec`), so serial and
+parallel executions of the same scenario produce bit-identical records.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+import traceback
+from collections import OrderedDict
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .registry import make_attack, make_locker, make_metric
+from .scenario import JobSpec, Scenario
+from .store import ResultsStore
+
+#: Signature of the runner progress callback: ``progress(done, total, record)``.
+ProgressFn = Callable[[int, int, Dict], None]
+
+#: Base designs kept per process (jobs share them read-only).
+_DESIGN_CACHE_SIZE = 8
+
+
+class JobExecutionError(RuntimeError):
+    """Raised when one or more jobs of a parallel run failed.
+
+    Successfully completed jobs of the same run are committed to the store
+    before this is raised, so a resumed run re-executes only the failures.
+    """
+
+
+_design_cache: "OrderedDict[Tuple[str, float, int], object]" = OrderedDict()
+
+
+def _load_base_design(benchmark: str, scale: float, seed: int):
+    """Load a benchmark once per process and share it across jobs.
+
+    The historical experiment loop loaded each benchmark once for all its
+    cells; jobs restore that economy through this cache.  Sharing is safe
+    because lockers deep-copy the design before mutating (``in_place``
+    defaults to False).
+    """
+    from ..bench import load_benchmark
+
+    key = (benchmark, scale, seed)
+    design = _design_cache.get(key)
+    if design is None:
+        design = load_benchmark(benchmark, scale=scale, seed=seed)
+        _design_cache[key] = design
+        while len(_design_cache) > _DESIGN_CACHE_SIZE:
+            _design_cache.popitem(last=False)
+    else:
+        _design_cache.move_to_end(key)
+    return design
+
+
+def _json_safe(value):
+    """Recursively coerce numpy scalars/arrays and tuples to JSON types."""
+    import numpy as np
+
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [_json_safe(v) for v in value.tolist()]
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+def key_budget_for(job: JobSpec, num_operations: int) -> int:
+    """Key budget of a job (see :func:`repro.api.scenario.key_budget`)."""
+    from .scenario import key_budget
+
+    return key_budget(job.locker.key_budget_fraction, job.benchmark,
+                      job.locker.algorithm, num_operations)
+
+
+def execute_job(job: JobSpec, pair_table=None) -> Dict:
+    """Execute one job and return its (JSON-ready) record.
+
+    The lock step replays the exact seeding of the historical
+    ``SnapShotExperiment.run_cell``; the locked sample's evaluation plan is
+    warmed into the process-wide cache before any simulation-backed step.
+    """
+    from ..sim import warm_plan_cache
+
+    started = time.perf_counter()
+    design = _load_base_design(job.benchmark, job.scale, job.seed)
+    num_operations = design.num_operations()
+    budget = key_budget_for(job, num_operations)
+
+    locker = make_locker(job.locker.algorithm,
+                         random.Random(job.locker_seed),
+                         pair_table=pair_table, **job.locker.options)
+    locked = locker.lock(design, key_budget=budget)
+
+    record: Dict = {
+        "job_id": job.job_id,
+        "kind": job.kind,
+        "benchmark": job.benchmark,
+        "locker": job.locker.algorithm,
+        "sample": job.sample,
+        "seed": job.seed,
+        "scale": job.scale,
+        "key_budget": budget,
+        "num_operations": num_operations,
+        "key_width": locked.design.key_width,
+    }
+
+    if job.kind == "attack":
+        assert job.attack is not None
+        spec = job.attack
+        if spec.functional_vectors > 0:
+            warm_plan_cache(locked.design)
+        attack = make_attack(spec.name, random.Random(job.attack_seed),
+                             rounds=spec.rounds,
+                             time_budget=spec.time_budget,
+                             feature_set=spec.feature_set,
+                             functional_vectors=spec.functional_vectors,
+                             pair_table=pair_table,
+                             **spec.options)
+        result = attack.attack(locked.design, algorithm=job.locker.algorithm)
+        record["attack"] = spec.name
+        record["result"] = _json_safe({
+            "design_name": result.design_name,
+            "predicted_key": list(result.predicted_key),
+            "correct_key": list(result.correct_key),
+            "kpa": result.kpa,
+            "model_name": result.model_name,
+            "training_size": result.training_size,
+            "per_bit_correct": list(result.per_bit_correct),
+            "metadata": dict(result.metadata),
+            "functional_kpa": result.functional_kpa,
+        })
+    else:
+        assert job.metric is not None
+        spec_m = job.metric
+        warm_plan_cache(locked.design)
+        metric = make_metric(spec_m.name)
+        value = metric(locked.design, rng=random.Random(job.metric_seed),
+                       **spec_m.options)
+        record["metric"] = spec_m.name
+        record["result"] = _json_safe(value)
+
+    record["elapsed_seconds"] = round(time.perf_counter() - started, 6)
+    return record
+
+
+def _run_job_group(scenario_dict: Dict, indices: Sequence[int],
+                   ) -> List[Tuple[int, Optional[Dict], Optional[str]]]:
+    """Worker entry point: execute a group of jobs of one scenario.
+
+    Failures are isolated per job — one crashing job yields an ``(index,
+    None, traceback)`` entry while the rest of the group still returns its
+    records, so the parent can commit completed work to the store.
+    """
+    # The parent validated the scenario before dispatch; skip re-validation
+    # here so worker processes spawned without the caller's module imports
+    # (and therefore without its third-party registrations) don't reject a
+    # scenario the parent accepted.  A genuinely missing factory still fails
+    # inside execute_job with the registry's unknown-component error.
+    scenario = Scenario.from_dict(scenario_dict, validate=False)
+    jobs = scenario.expand()
+    results: List[Tuple[int, Optional[Dict], Optional[str]]] = []
+    for index in indices:
+        try:
+            results.append((index, execute_job(jobs[index]), None))
+        except Exception:
+            results.append((index, None, traceback.format_exc()))
+    return results
+
+
+@dataclass
+class RunReport:
+    """Outcome of one :meth:`Runner.run` invocation.
+
+    Attributes:
+        scenario: The executed scenario.
+        total: Number of jobs in the expanded scenario.
+        executed: Jobs actually run in this invocation.
+        skipped: Jobs skipped because their store record already existed.
+        records: ``{job_id: record}`` for *every* job of the scenario
+            (executed now or loaded from the store).
+        store_path: Store directory, or ``None`` for in-memory runs.
+    """
+
+    scenario: Scenario
+    total: int
+    executed: int
+    skipped: int
+    records: Dict[str, Dict] = field(default_factory=dict)
+    store_path: Optional[str] = None
+
+    def kpa_samples(self) -> List:
+        """Flatten every attack record into ``KpaSample`` objects."""
+        from .store import kpa_samples_from_records
+
+        return kpa_samples_from_records(self.records.values())
+
+    def average_kpa(self) -> Dict[str, float]:
+        """``{locker: mean KPA over all attack records}`` (Fig. 6b style)."""
+        from ..attacks.kpa import aggregate_by
+
+        return {name: agg.mean
+                for name, agg in aggregate_by(self.kpa_samples(),
+                                              key="algorithm").items()}
+
+
+class Runner:
+    """Expands a scenario into jobs and executes them.
+
+    Args:
+        scenario: The workload description.
+        store: Results store for records and resumability; ``None`` keeps all
+            records in memory only (no resume support).
+        jobs: Worker processes; 1 (the default) runs in-process.  With
+            ``jobs > 1``, third-party components must be registered at
+            *import time* of a module the workers also import (built-ins
+            always are): under a spawn/forkserver start method a worker
+            that cannot resolve a component name fails that job group with
+            the registry's unknown-component error.
+        resume: Skip jobs whose store record already exists (on by default).
+        progress: Optional ``progress(done, total, record)`` callback fired
+            after every completed (or skipped) job — the same liveness-hook
+            convention as :meth:`SnapShotAttack.attack_many`.
+        pair_table: Runtime pair-table override handed to lockers and
+            attacks.  Pair tables are live objects, not scenario data, so
+            they are only supported for in-process runs (``jobs=1``).
+
+    Raises:
+        ValueError: for a non-positive ``jobs`` count or a ``pair_table``
+            combined with a process pool.
+    """
+
+    def __init__(self, scenario: Scenario, store: Optional[ResultsStore] = None,
+                 jobs: int = 1, resume: bool = True,
+                 progress: Optional[ProgressFn] = None,
+                 pair_table=None) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be positive")
+        if pair_table is not None and jobs > 1:
+            raise ValueError("a runtime pair_table requires jobs=1 "
+                             "(pair tables are not scenario data)")
+        self.scenario = scenario
+        self.store = store
+        self.jobs = jobs
+        self.resume = resume
+        self.progress = progress
+        self.pair_table = pair_table
+
+    # ---------------------------------------------------------------- running
+
+    def run(self) -> RunReport:
+        """Execute the scenario and return the aggregate report.
+
+        Completed records are written to the store as they arrive, and the
+        manifest is rewritten at the end of the run.
+
+        Raises:
+            StoreError: when resuming against a store stamped by a
+                *different* scenario — job ids alone cannot distinguish two
+                scenarios that differ only in seed, rounds or budgets, so
+                silently serving the old records would mislabel them.  Use a
+                fresh store directory (or ``resume=False`` to overwrite).
+        """
+        from .store import StoreError
+
+        self.scenario.validate()
+        if self.store is not None:
+            stamp = self.store.scenario_stamp()
+            if stamp is not None and stamp != self.scenario.fingerprint():
+                if self.resume:
+                    raise StoreError(
+                        f"results store {self.store.root} was produced by a "
+                        f"different scenario (stamp {stamp}, this scenario "
+                        f"{self.scenario.fingerprint()}); use a fresh store "
+                        "directory or resume=False to overwrite")
+                # True overwrite: drop the foreign scenario's records so they
+                # cannot leak into this run's manifest or aggregations.
+                self.store.clear_records()
+            self.store.write_scenario_stamp(self.scenario)
+        jobs = self.scenario.expand()
+        report = RunReport(scenario=self.scenario, total=len(jobs),
+                           executed=0, skipped=0,
+                           store_path=str(self.store.root)
+                           if self.store else None)
+
+        todo: List[Tuple[int, JobSpec]] = []
+        done = 0
+        for index, job in enumerate(jobs):
+            if (self.resume and self.store is not None
+                    and self.store.has(job.job_id)):
+                record = self.store.load(job.job_id)
+                report.records[job.job_id] = record
+                report.skipped += 1
+                done += 1
+                # Skipped jobs still count towards progress so callers see
+                # the true completion state of a resumed run.
+                if self.progress is not None:
+                    self.progress(done, len(jobs), record)
+            else:
+                todo.append((index, job))
+
+        try:
+            if self.jobs == 1 or len(todo) <= 1:
+                for _, job in todo:
+                    record = execute_job(job, pair_table=self.pair_table)
+                    done += 1
+                    self._commit(report, job, record, done, len(jobs))
+            else:
+                self._run_pool(report, jobs, todo)
+        finally:
+            # Whatever happened, everything committed so far is resumable:
+            # the manifest reflects the records on disk.
+            if self.store is not None:
+                self.store.write_manifest(self.scenario,
+                                          executed=report.executed,
+                                          skipped=report.skipped)
+        return report
+
+    def _commit(self, report: RunReport, job: JobSpec, record: Dict,
+                done: int, total: int) -> None:
+        report.records[job.job_id] = record
+        report.executed += 1
+        if self.store is not None:
+            self.store.save(job.job_id, record)
+        if self.progress is not None:
+            self.progress(done, total, record)
+
+    def _run_pool(self, report: RunReport, jobs: List[JobSpec],
+                  todo: List[Tuple[int, JobSpec]]) -> None:
+        """Execute ``todo`` on a process pool, grouped by benchmark.
+
+        Groups keep one benchmark's jobs on one worker whenever the group
+        count allows, so each worker's per-process base-design and plan
+        caches serve all samples of the designs it attacks; records are
+        committed in the parent as groups finish.
+
+        Raises:
+            JobExecutionError: after the pool drains, when any job failed —
+                every completed job was committed first, so a resumed run
+                re-executes only the failures.
+        """
+        scenario_dict = self.scenario.to_dict()
+        groups: Dict[str, List[int]] = {}
+        for index, job in todo:
+            groups.setdefault(job.benchmark, []).append(index)
+        # Split benchmark groups into at most `jobs` roughly equal chunks
+        # each, so small scenarios still use every worker.
+        chunks: List[List[int]] = []
+        for indices in groups.values():
+            per_chunk = max(1, -(-len(indices) // self.jobs))
+            for start in range(0, len(indices), per_chunk):
+                chunks.append(indices[start:start + per_chunk])
+
+        done = report.skipped
+        by_index = {index: job for index, job in todo}
+        failures: List[Tuple[str, str]] = []
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            pending = {pool.submit(_run_job_group, scenario_dict, chunk)
+                       for chunk in chunks}
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    for index, record, error in future.result():
+                        if error is not None:
+                            failures.append((by_index[index].job_id, error))
+                            continue
+                        done += 1
+                        self._commit(report, by_index[index], record,
+                                     done, len(jobs))
+        if failures:
+            summary = "; ".join(job_id for job_id, _ in failures)
+            raise JobExecutionError(
+                f"{len(failures)} job(s) failed ({summary}); completed jobs "
+                f"were committed. First failure:\n{failures[0][1]}")

@@ -1,0 +1,469 @@
+"""Declarative scenario descriptions: what to lock, attack and measure.
+
+A :class:`Scenario` is the JSON-serialisable description of one evaluation
+workload — the cross product of benchmarks × lockers × attacks × metrics ×
+samples, plus the shared scale/seed/budget knobs.  It round-trips losslessly
+through ``to_dict``/``from_dict`` (and ``save``/``from_file`` for JSON files)
+and expands deterministically into a flat list of :class:`JobSpec` jobs, each
+of which is an independent lock → attack (or lock → measure) unit of work
+with a stable ``job_id`` — the key of the results store.
+
+Seed derivation is *identical* to the historical
+:class:`~repro.eval.experiment.SnapShotExperiment` pipeline: a scenario with
+one ``snapshot`` attack reproduces the Fig. 6 evaluation bit for bit at the
+same master seed, serially or across a process pool.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .registry import attack_names, locker_names, metric_names
+
+
+class ScenarioError(ValueError):
+    """Raised for structurally invalid scenario descriptions."""
+
+
+def cell_seed(seed: int, benchmark: str, algorithm: str) -> int:
+    """Per-(benchmark, locker) seed — the historical ``run_cell`` formula.
+
+    The single definition behind both :attr:`JobSpec.cell_seed` and the
+    legacy :meth:`SnapShotExperiment.run_cell
+    <repro.eval.experiment.SnapShotExperiment.run_cell>`; ``zlib.crc32``
+    keeps the value stable across processes (Python's built-in ``hash()``
+    of strings is salted per interpreter run).
+    """
+    return zlib.crc32(f"{seed}/{benchmark}/{algorithm}".encode()) & 0x7FFFFFFF
+
+
+def key_budget(fraction: float, benchmark: str, algorithm: str,
+               num_operations: int) -> int:
+    """Key budget of a cell (fraction of operations; 100 % for N_2046 + ERA).
+
+    The perfectly imbalanced ``N_2046`` needs a dummy per operation for ERA
+    to reach balance (Section 5, "Attack setup") — the single definition of
+    the special case shared by the job runner and the legacy experiment.
+    """
+    if benchmark == "N_2046" and algorithm == "era":
+        fraction = 1.0
+    return max(1, int(round(fraction * num_operations)))
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ScenarioError(message)
+
+
+def _check_keys(data: Mapping, allowed: Sequence[str], what: str) -> None:
+    unknown = set(data) - set(allowed)
+    _require(not unknown,
+             f"unknown {what} field(s): {', '.join(sorted(unknown))}; "
+             f"allowed: {', '.join(allowed)}")
+
+
+def _check_options(options: Mapping, reserved: Sequence[str],
+                   what: str) -> None:
+    clash = set(options) & set(reserved)
+    _require(not clash,
+             f"{what} options must not override the factory arguments the "
+             f"runner sets itself: {', '.join(sorted(clash))}")
+
+
+@dataclass(frozen=True)
+class LockerSpec:
+    """One locking algorithm of a scenario.
+
+    Attributes:
+        algorithm: Registry name of the locking algorithm.
+        key_budget_fraction: Key budget as a fraction of lockable operations
+            (the paper's 75 % default).  The ``N_2046`` + ``era`` special
+            case of Section 5 is applied automatically at job level.
+        options: Extra factory keyword arguments (free-form, JSON-valued).
+    """
+
+    algorithm: str
+    key_budget_fraction: float = 0.75
+    options: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _require(bool(self.algorithm), "locker algorithm name is required")
+        _require(0.0 < self.key_budget_fraction <= 1.0,
+                 f"key_budget_fraction must be in (0, 1], "
+                 f"got {self.key_budget_fraction}")
+        _check_options(self.options, ("rng", "pair_table"), "locker")
+
+    @classmethod
+    def from_dict(cls, data: Union[str, Mapping]) -> "LockerSpec":
+        """Build from a mapping (or a bare algorithm-name string)."""
+        if isinstance(data, str):
+            return cls(algorithm=data)
+        _check_keys(data, ("algorithm", "key_budget_fraction", "options"),
+                    "locker")
+        _require("algorithm" in data, "locker needs an 'algorithm' field")
+        return cls(algorithm=data["algorithm"],
+                   key_budget_fraction=float(
+                       data.get("key_budget_fraction", 0.75)),
+                   options=dict(data.get("options", {})))
+
+
+@dataclass(frozen=True)
+class AttackSpec:
+    """One attack of a scenario.
+
+    Attributes:
+        name: Registry name of the attack.
+        rounds: Relocking rounds of the training set.
+        time_budget: Auto-ML search budget.  The built-in ``snapshot``
+            factory interprets it *deterministically* in scenario runs (one
+            roster candidate per budget second, cheapest first) so records
+            are bit-identical across serial and parallel execution; pass
+            ``options={"deterministic": false}`` for the historical
+            wall-clock behaviour.
+        feature_set: Locality feature set (``pair``/``extended``/``behavioral``).
+        functional_vectors: Vectors for functional-KPA validation (0 = off).
+        options: Extra factory keyword arguments (free-form, JSON-valued).
+    """
+
+    name: str = "snapshot"
+    rounds: int = 50
+    time_budget: float = 10.0
+    feature_set: str = "pair"
+    functional_vectors: int = 0
+    options: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "attack name is required")
+        _require(self.rounds >= 1, "attack rounds must be positive")
+        _require(self.time_budget > 0, "attack time_budget must be positive")
+        _require(self.functional_vectors >= 0,
+                 "functional_vectors must be non-negative")
+        _check_options(self.options,
+                       ("rng", "pair_table", "rounds", "time_budget",
+                        "feature_set", "functional_vectors"), "attack")
+
+    @classmethod
+    def from_dict(cls, data: Union[str, Mapping]) -> "AttackSpec":
+        """Build from a mapping (or a bare attack-name string)."""
+        if isinstance(data, str):
+            return cls(name=data)
+        _check_keys(data, ("name", "rounds", "time_budget", "feature_set",
+                           "functional_vectors", "options"), "attack")
+        return cls(name=data.get("name", "snapshot"),
+                   rounds=int(data.get("rounds", 50)),
+                   time_budget=float(data.get("time_budget", 10.0)),
+                   feature_set=str(data.get("feature_set", "pair")),
+                   functional_vectors=int(data.get("functional_vectors", 0)),
+                   options=dict(data.get("options", {})))
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One per-locked-sample metric of a scenario.
+
+    Attributes:
+        name: Registry name of the metric.
+        options: Keyword arguments passed to the metric callable.
+    """
+
+    name: str
+    options: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "metric name is required")
+        _check_options(self.options, ("rng", "design"), "metric")
+
+    @classmethod
+    def from_dict(cls, data: Union[str, Mapping]) -> "MetricSpec":
+        """Build from a mapping (or a bare metric-name string)."""
+        if isinstance(data, str):
+            return cls(name=data)
+        _check_keys(data, ("name", "options"), "metric")
+        _require("name" in data, "metric needs a 'name' field")
+        return cls(name=data["name"], options=dict(data.get("options", {})))
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One independent unit of work of an expanded scenario.
+
+    ``kind == "attack"`` jobs lock a fresh sample and attack it;
+    ``kind == "metric"`` jobs lock the same sample (same derived seed) and
+    evaluate a registered metric on it.  Every job derives its random streams
+    from ``(seed, benchmark, locker, sample)`` alone, so jobs execute in any
+    order — or in different processes — with identical results.
+    """
+
+    kind: str
+    benchmark: str
+    locker: LockerSpec
+    sample: int
+    seed: int
+    scale: float
+    attack: Optional[AttackSpec] = None
+    attack_index: int = 0
+    metric: Optional[MetricSpec] = None
+    metric_index: int = 0
+
+    def __post_init__(self) -> None:
+        _require(self.kind in ("attack", "metric"),
+                 f"unknown job kind {self.kind!r}")
+        if self.kind == "attack":
+            _require(self.attack is not None, "attack job needs an attack")
+        else:
+            _require(self.metric is not None, "metric job needs a metric")
+
+    @property
+    def job_id(self) -> str:
+        """Stable identifier (and results-store record name) of the job."""
+        if self.kind == "attack":
+            assert self.attack is not None
+            target = self.attack.name
+        else:
+            assert self.metric is not None
+            target = self.metric.name
+        return (f"{self.kind}__{self.benchmark}__{self.locker.algorithm}"
+                f"__{target}__s{self.sample}")
+
+    @property
+    def cell_seed(self) -> int:
+        """Per-(benchmark, locker) seed (see :func:`cell_seed`)."""
+        return cell_seed(self.seed, self.benchmark, self.locker.algorithm)
+
+    @property
+    def locker_seed(self) -> int:
+        """Seed of the locking rng (identical to the legacy pipeline)."""
+        return self.cell_seed + 1000 * self.sample
+
+    @property
+    def attack_seed(self) -> int:
+        """Seed of the attack rng.
+
+        For the first attack of a scenario this is exactly the legacy
+        ``cell_seed + 1000 * sample + 7``, which keeps single-attack
+        scenarios bit-identical to :class:`SnapShotExperiment`; further
+        attacks shift by a fixed stride so every attack draws an
+        independent stream.
+        """
+        return self.cell_seed + 1000 * self.sample + 7 + 1009 * self.attack_index
+
+    @property
+    def metric_seed(self) -> int:
+        """Seed of the metric rng (independent of lock/attack streams)."""
+        return self.cell_seed + 1000 * self.sample + 7919 * (self.metric_index + 1)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A declarative evaluation workload.
+
+    Attributes:
+        name: Scenario name (used for default store paths and reports).
+        benchmarks: Benchmark names from :mod:`repro.bench`.
+        lockers: Locking algorithms to evaluate.
+        attacks: Attacks run against every locked sample.
+        metrics: Metrics evaluated on every locked sample.
+        samples: Locked samples per (benchmark, locker) — the paper's
+            ``n_test_lockings``.
+        scale: Benchmark scale factor (1.0 = full size).
+        seed: Master seed; every job derives its own streams from it.
+    """
+
+    name: str = "scenario"
+    benchmarks: Tuple[str, ...] = ()
+    lockers: Tuple[LockerSpec, ...] = ()
+    attacks: Tuple[AttackSpec, ...] = ()
+    metrics: Tuple[MetricSpec, ...] = ()
+    samples: int = 10
+    scale: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "scenario name is required")
+        _require(self.samples >= 1, "samples must be positive")
+        _require(self.scale > 0, "scale must be positive")
+        _require(bool(self.benchmarks), "scenario needs at least one benchmark")
+        _require(bool(self.lockers), "scenario needs at least one locker")
+        _require(bool(self.attacks) or bool(self.metrics),
+                 "scenario needs at least one attack or metric")
+
+    # ------------------------------------------------------------- validation
+
+    def validate(self, registries: bool = True) -> "Scenario":
+        """Validate the scenario beyond per-field checks.
+
+        Args:
+            registries: Also check every component name against the live
+                registries and every benchmark against the benchmark
+                registry (on by default; turn off to describe scenarios for
+                components registered later).
+
+        Raises:
+            ScenarioError: naming duplicates or unknown components.
+        """
+        locker_ids = [spec.algorithm for spec in self.lockers]
+        _require(len(set(locker_ids)) == len(locker_ids),
+                 "duplicate locker algorithms in scenario")
+        attack_ids = [spec.name for spec in self.attacks]
+        _require(len(set(attack_ids)) == len(attack_ids),
+                 "duplicate attacks in scenario")
+        metric_ids = [spec.name for spec in self.metrics]
+        _require(len(set(metric_ids)) == len(metric_ids),
+                 "duplicate metrics in scenario")
+        if registries:
+            from ..bench import benchmark_names
+            known_benchmarks = set(benchmark_names())
+            for benchmark in self.benchmarks:
+                _require(benchmark in known_benchmarks,
+                         f"unknown benchmark {benchmark!r}; available: "
+                         f"{', '.join(sorted(known_benchmarks))}")
+            known_lockers = set(locker_names(include_aliases=True))
+            for locker_id in locker_ids:
+                _require(locker_id in known_lockers,
+                         f"unknown locking algorithm {locker_id!r}; "
+                         f"registered: {', '.join(sorted(known_lockers))}")
+            known_attacks = set(attack_names(include_aliases=True))
+            for attack_id in attack_ids:
+                _require(attack_id in known_attacks,
+                         f"unknown attack {attack_id!r}; registered: "
+                         f"{', '.join(sorted(known_attacks))}")
+            known_metrics = set(metric_names(include_aliases=True))
+            for metric_id in metric_ids:
+                _require(metric_id in known_metrics,
+                         f"unknown metric {metric_id!r}; registered: "
+                         f"{', '.join(sorted(known_metrics))}")
+        return self
+
+    # ------------------------------------------------------------ (de)serialise
+
+    def to_dict(self) -> Dict[str, object]:
+        """Return the JSON-ready dict form (round-trips via :meth:`from_dict`).
+
+        The form is JSON-canonical (lists, not tuples), so a dict that went
+        through ``json.dumps``/``json.loads`` compares equal to a fresh one.
+        """
+        return json.loads(json.dumps(asdict(self)))
+
+    @classmethod
+    def from_dict(cls, data: Mapping, validate: bool = True) -> "Scenario":
+        """Build a scenario from its dict form.
+
+        Args:
+            data: Mapping as produced by :meth:`to_dict` (component entries
+                may also be bare name strings).
+            validate: Run :meth:`validate` against the live registries.
+
+        Raises:
+            ScenarioError: for unknown fields, invalid values or (with
+                ``validate``) unknown component names.
+        """
+        _check_keys(data, ("name", "benchmarks", "lockers", "attacks",
+                           "metrics", "samples", "scale", "seed"), "scenario")
+        scenario = cls(
+            name=str(data.get("name", "scenario")),
+            benchmarks=tuple(data.get("benchmarks", ())),
+            lockers=tuple(LockerSpec.from_dict(item)
+                          for item in data.get("lockers", ())),
+            attacks=tuple(AttackSpec.from_dict(item)
+                          for item in data.get("attacks", ())),
+            metrics=tuple(MetricSpec.from_dict(item)
+                          for item in data.get("metrics", ())),
+            samples=int(data.get("samples", 10)),
+            scale=float(data.get("scale", 1.0)),
+            seed=int(data.get("seed", 0)),
+        )
+        if validate:
+            scenario.validate()
+        return scenario
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialise to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str, validate: bool = True) -> "Scenario":
+        """Parse a scenario from JSON text."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"invalid scenario JSON: {exc}") from exc
+        _require(isinstance(data, dict), "scenario JSON must be an object")
+        return cls.from_dict(data, validate=validate)
+
+    def save(self, path: Path) -> Path:
+        """Write the scenario as JSON to ``path``."""
+        path = Path(path)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def from_file(cls, path: Path, validate: bool = True) -> "Scenario":
+        """Load a scenario from a JSON file."""
+        path = Path(path)
+        if not path.exists():
+            raise ScenarioError(f"scenario file {path} does not exist")
+        return cls.from_json(path.read_text(), validate=validate)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the scenario (recorded in the manifest)."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return format(zlib.crc32(canonical.encode()) & 0xFFFFFFFF, "08x")
+
+    # -------------------------------------------------------------- expansion
+
+    def expand(self) -> List[JobSpec]:
+        """Expand into the flat, ordered job list (the scenario's run plan).
+
+        Jobs are ordered benchmark-major, then locker, then sample, then
+        attacks before metrics — the exact cell order of the historical
+        experiment loop, so serial runs and progress reporting match it.
+        """
+        jobs: List[JobSpec] = []
+        for benchmark in self.benchmarks:
+            for locker in self.lockers:
+                for sample in range(self.samples):
+                    for attack_index, attack in enumerate(self.attacks):
+                        jobs.append(JobSpec(
+                            kind="attack", benchmark=benchmark, locker=locker,
+                            sample=sample, seed=self.seed, scale=self.scale,
+                            attack=attack, attack_index=attack_index))
+                    for metric_index, metric in enumerate(self.metrics):
+                        jobs.append(JobSpec(
+                            kind="metric", benchmark=benchmark, locker=locker,
+                            sample=sample, seed=self.seed, scale=self.scale,
+                            metric=metric, metric_index=metric_index))
+        return jobs
+
+    # ------------------------------------------------------------ conversions
+
+    @classmethod
+    def from_experiment_config(cls, config,
+                               name: str = "evaluate") -> "Scenario":
+        """The scenario equivalent of a legacy ``ExperimentConfig``.
+
+        The resulting single-attack scenario reproduces
+        :meth:`SnapShotExperiment.run <repro.eval.experiment.SnapShotExperiment.run>`
+        bit for bit at the same seed — both run the same self-seeded jobs
+        with the deterministic auto-ML budget.  ``config.pair_table`` is a
+        runtime object and cannot be declared here; pass it to the
+        :class:`~repro.api.runner.Runner` instead.
+        """
+        return cls(
+            name=name,
+            benchmarks=tuple(config.benchmarks),
+            lockers=tuple(LockerSpec(algorithm=algorithm,
+                                     key_budget_fraction=config.key_budget_fraction)
+                          for algorithm in config.algorithms),
+            attacks=(AttackSpec(name="snapshot",
+                                rounds=config.relock_rounds,
+                                time_budget=config.automl_time_budget,
+                                feature_set=config.feature_set,
+                                functional_vectors=config.functional_vectors),),
+            samples=config.n_test_lockings,
+            scale=config.scale,
+            seed=config.seed,
+        )

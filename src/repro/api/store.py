@@ -1,0 +1,221 @@
+"""Filesystem results store: one JSON record per job plus a manifest.
+
+A :class:`ResultsStore` makes scenario runs *resumable* and their outputs
+consumable by downstream tooling without keeping anything in memory:
+
+* ``<root>/jobs/<job_id>.json`` — one record per completed job,
+* ``<root>/manifest.json`` — the scenario, its fingerprint, and a summary of
+  every job (id, kind, status), rewritten at the end of each run.
+
+A second run of the same scenario against an existing store skips every job
+whose record is already present (zero jobs executed on a complete store).
+The figure/table builders in :mod:`repro.eval` read aggregated KPA data
+straight from a store via :meth:`ResultsStore.kpa_samples`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional
+
+from .scenario import Scenario
+
+#: Manifest schema version (bump on incompatible record changes).
+MANIFEST_VERSION = 1
+
+
+def kpa_samples_from_records(records: Iterable[Mapping]) -> List:
+    """Flatten attack job records into ``KpaSample`` objects.
+
+    The single aggregation path shared by :meth:`ResultsStore.kpa_samples`
+    and :meth:`repro.api.runner.RunReport.kpa_samples`, so the record schema
+    is interpreted in exactly one place.
+    """
+    from ..attacks.kpa import KpaSample
+
+    samples: List[KpaSample] = []
+    for record in records:
+        if record.get("kind") != "attack":
+            continue
+        result = record["result"]
+        metadata = dict(result.get("metadata", {}))
+        metadata["attack"] = record.get("attack")
+        if result.get("functional_kpa") is not None:
+            metadata["functional_kpa"] = result["functional_kpa"]
+        samples.append(KpaSample(
+            design_name=record["benchmark"],
+            algorithm=record["locker"],
+            value=float(result["kpa"]),
+            key_width=len(result.get("correct_key", [])),
+            metadata=metadata,
+        ))
+    return samples
+
+
+class StoreError(RuntimeError):
+    """Raised for unreadable or inconsistent store contents."""
+
+
+class ResultsStore:
+    """Directory-backed store of per-job records and an aggregate manifest.
+
+    Args:
+        root: Store directory (created on first write).
+    """
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+
+    @property
+    def jobs_dir(self) -> Path:
+        """Directory holding one JSON record per completed job."""
+        return self.root / "jobs"
+
+    @property
+    def manifest_path(self) -> Path:
+        """Path of the aggregate manifest."""
+        return self.root / "manifest.json"
+
+    @property
+    def scenario_stamp_path(self) -> Path:
+        """Path of the scenario stamp written at the *start* of every run."""
+        return self.root / "scenario.json"
+
+    # ------------------------------------------------------------------ stamp
+
+    def scenario_stamp(self) -> Optional[str]:
+        """Fingerprint of the scenario this store belongs to, if stamped."""
+        if not self.scenario_stamp_path.exists():
+            return None
+        try:
+            return json.loads(
+                self.scenario_stamp_path.read_text())["fingerprint"]
+        except (json.JSONDecodeError, KeyError) as exc:
+            raise StoreError(
+                f"corrupt scenario stamp {self.scenario_stamp_path}: {exc}"
+            ) from exc
+
+    def write_scenario_stamp(self, scenario: Scenario) -> Path:
+        """Bind this store to ``scenario`` (called before jobs execute)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.scenario_stamp_path.write_text(json.dumps(
+            {"fingerprint": scenario.fingerprint(),
+             "scenario": scenario.to_dict()}, indent=2) + "\n")
+        return self.scenario_stamp_path
+
+    def clear_records(self) -> None:
+        """Delete every job record and the manifest (the stamp stays)."""
+        if self.jobs_dir.exists():
+            for path in self.jobs_dir.glob("*.json"):
+                path.unlink()
+        if self.manifest_path.exists():
+            self.manifest_path.unlink()
+
+    # ---------------------------------------------------------------- records
+
+    def record_path(self, job_id: str) -> Path:
+        """Path of one job's record file."""
+        return self.jobs_dir / f"{job_id}.json"
+
+    def has(self, job_id: str) -> bool:
+        """True when a record for ``job_id`` exists (the resume check)."""
+        return self.record_path(job_id).exists()
+
+    def save(self, job_id: str, record: Mapping) -> Path:
+        """Write one job record (atomically via a temp file + rename)."""
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        path = self.record_path(job_id)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(dict(record), indent=2) + "\n")
+        tmp.replace(path)
+        return path
+
+    def load(self, job_id: str) -> Dict:
+        """Read one job record.
+
+        Raises:
+            StoreError: when the record is missing or not valid JSON.
+        """
+        path = self.record_path(job_id)
+        if not path.exists():
+            raise StoreError(f"no record for job {job_id!r} in {self.root}")
+        try:
+            return json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise StoreError(f"corrupt record {path}: {exc}") from exc
+
+    def job_ids(self) -> List[str]:
+        """Sorted ids of every stored job record."""
+        if not self.jobs_dir.exists():
+            return []
+        return sorted(path.stem for path in self.jobs_dir.glob("*.json"))
+
+    def records(self) -> Iterator[Dict]:
+        """Iterate over every stored record (sorted by job id)."""
+        for job_id in self.job_ids():
+            yield self.load(job_id)
+
+    # --------------------------------------------------------------- manifest
+
+    def write_manifest(self, scenario: Scenario,
+                       executed: int, skipped: int) -> Path:
+        """Write the aggregate manifest for a (finished) run."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        summaries = []
+        for job_id in self.job_ids():
+            record = self.load(job_id)
+            summaries.append({
+                "job_id": job_id,
+                "kind": record.get("kind"),
+                "benchmark": record.get("benchmark"),
+                "locker": record.get("locker"),
+                "elapsed_seconds": record.get("elapsed_seconds"),
+            })
+        manifest = {
+            "version": MANIFEST_VERSION,
+            "scenario": scenario.to_dict(),
+            "scenario_fingerprint": scenario.fingerprint(),
+            "executed": executed,
+            "skipped": skipped,
+            "total_records": len(summaries),
+            "jobs": summaries,
+        }
+        self.manifest_path.write_text(json.dumps(manifest, indent=2) + "\n")
+        return self.manifest_path
+
+    def manifest(self) -> Dict:
+        """Read the manifest.
+
+        Raises:
+            StoreError: when no manifest has been written yet.
+        """
+        if not self.manifest_path.exists():
+            raise StoreError(f"no manifest in {self.root}")
+        return json.loads(self.manifest_path.read_text())
+
+    def scenario(self) -> Scenario:
+        """The scenario recorded in the manifest (validated)."""
+        return Scenario.from_dict(self.manifest()["scenario"])
+
+    # ------------------------------------------------------------ aggregation
+
+    def kpa_samples(self) -> List:
+        """Flatten every stored attack record into a ``KpaSample`` list.
+
+        This is the store-backed replacement for
+        :meth:`ExperimentResult.kpa_samples` that the figure and table
+        builders consume.
+        """
+        return kpa_samples_from_records(self.records())
+
+    def metric_values(self, metric: Optional[str] = None) -> List[Dict]:
+        """Stored metric records, optionally filtered by metric name."""
+        values = []
+        for record in self.records():
+            if record.get("kind") != "metric":
+                continue
+            if metric is not None and record.get("metric") != metric:
+                continue
+            values.append(record)
+        return values

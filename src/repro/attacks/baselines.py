@@ -176,3 +176,33 @@ class PairAsymmetryAttack:
         if false_is_real and not true_is_real:
             return 0
         return None
+
+
+# ---------------------------------------------------------------------------
+# Registry factories (see repro.api)
+# ---------------------------------------------------------------------------
+
+from ..api.registry import register_attack  # noqa: E402
+
+
+@register_attack("majority", aliases=("majority-vote",))
+def _make_majority(rng: random.Random, rounds: int = 20,
+                   pair_table: Optional[PairTable] = None,
+                   **_: object) -> MajorityVoteAttack:
+    """Pair-majority table-lookup baseline."""
+    return MajorityVoteAttack(rounds=rounds, pair_table=pair_table, rng=rng)
+
+
+@register_attack("random", aliases=("random-guess",))
+def _make_random_guess(rng: random.Random, **_: object) -> RandomGuessAttack:
+    """The 50 % KPA random-guess reference attack."""
+    return RandomGuessAttack(rng)
+
+
+@register_attack("pair-asymmetry")
+def _make_pair_asymmetry(rng: random.Random,
+                         pair_table: Optional[PairTable] = None,
+                         **_: object) -> PairAsymmetryAttack:
+    """Training-free attack against asymmetric pair tables (Section 3.2)."""
+    return PairAsymmetryAttack(pair_table=pair_table or ORIGINAL_ASSURE_TABLE,
+                               rng=rng)

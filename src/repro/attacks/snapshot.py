@@ -90,6 +90,11 @@ class SnapShotAttack:
             and the match rate is reported as
             :attr:`AttackResult.functional_kpa`.  0 (the default) skips the
             simulation entirely.
+        deterministic: Run the default auto-ML search in deterministic mode
+            (one roster candidate per budget second, no wall-clock deadline)
+            so attack results are a pure function of target and seed — the
+            mode scenario runs use to stay bit-identical across serial and
+            parallel execution.  Ignored when an explicit ``model`` is given.
         rng: Random source.
     """
 
@@ -101,6 +106,7 @@ class SnapShotAttack:
                  time_budget: float = 10.0,
                  max_training_samples: int = 20000,
                  functional_vectors: int = 0,
+                 deterministic: bool = False,
                  rng: Optional[random.Random] = None) -> None:
         if max_training_samples < 1:
             raise ValueError("max_training_samples must be positive")
@@ -114,6 +120,7 @@ class SnapShotAttack:
         self.time_budget = time_budget
         self.max_training_samples = max_training_samples
         self.functional_vectors = functional_vectors
+        self.deterministic = deterministic
         self.rng = rng or random.Random()
 
     # ------------------------------------------------------------------ steps
@@ -138,6 +145,7 @@ class SnapShotAttack:
             model = AutoMLClassifier(
                 time_budget=self.time_budget,
                 random_state=self.rng.randrange(2 ** 31),
+                deterministic=self.deterministic,
             )
         features, labels = training_set.features, training_set.labels
         if features.shape[0] > self.max_training_samples:
@@ -256,3 +264,31 @@ class SnapShotAttack:
             if progress is not None:
                 progress(index + 1, len(targets), result)
         return results
+
+
+# ---------------------------------------------------------------------------
+# Registry factory (see repro.api)
+# ---------------------------------------------------------------------------
+
+from ..api.registry import register_attack  # noqa: E402
+
+
+@register_attack("snapshot", aliases=("snapshot-rtl",))
+def _make_snapshot(rng: random.Random, rounds: int = 20,
+                   feature_set: str = "pair",
+                   pair_table: Optional[PairTable] = None,
+                   time_budget: float = 10.0,
+                   functional_vectors: int = 0,
+                   deterministic: bool = True,
+                   **_: object) -> SnapShotAttack:
+    """The paper's ML-driven structural attack adapted to RTL.
+
+    Scenario runs default to the *deterministic* auto-ML budget (one
+    candidate per budget second instead of a wall-clock deadline), so a
+    scenario's records are bit-identical across machines, repeats, and
+    serial vs. parallel execution.
+    """
+    return SnapShotAttack(rounds=rounds, feature_set=feature_set,
+                          pair_table=pair_table, time_budget=time_budget,
+                          functional_vectors=functional_vectors,
+                          deterministic=deterministic, rng=rng)

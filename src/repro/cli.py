@@ -8,6 +8,12 @@ and attacked without writing Python:
 * ``repro-lock attack   locked.v --key-file key.txt`` — run SnapShot against a locked design
 * ``repro-lock bench    --list``                      — list / generate benchmark designs
 * ``repro-lock evaluate --benchmarks MD5 FIR``        — run the Fig. 6 style evaluation
+* ``repro-lock run      scenario.json --jobs 4``      — run a declarative scenario (resumable)
+
+Locking algorithms and attacks are resolved through the :mod:`repro.api`
+registries, so the ``--algorithm``/``--attack`` choices (and their ``--help``
+listings) always reflect what is registered — including third-party
+components registered before :func:`main` is invoked.
 
 Every subcommand is importable and tested through :func:`main` with an
 argument list, and is also installed as the ``repro-lock`` console script.
@@ -22,7 +28,17 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from .attacks import MajorityVoteAttack, RandomGuessAttack, SnapShotAttack
+from .api import (
+    JobExecutionError,
+    Runner,
+    ResultsStore,
+    Scenario,
+    ScenarioError,
+    StoreError,
+    attack_names,
+    locker_names,
+    make_attack,
+)
 from .bench import benchmark_names, get_profile, load_benchmark
 from .eval import (
     ExperimentConfig,
@@ -30,13 +46,12 @@ from .eval import (
     experiment_report,
     format_table,
     make_locker,
+    report_from_samples,
 )
 from .locking import odt_from_design
 from .locking.key import string_to_key
 from .rtlir import Design, KeyBit, analyze_design
 
-#: Locking algorithm choices exposed on the command line.
-ALGORITHMS = ("assure", "assure-random", "hra", "greedy", "era")
 
 
 def _load_design(path: Path, top: Optional[str]) -> Design:
@@ -132,13 +147,12 @@ def cmd_attack(args: argparse.Namespace) -> int:
         print("error: the key metadata lists no key bits", file=sys.stderr)
         return 1
 
-    attacks = {"snapshot": SnapShotAttack(rounds=args.rounds,
-                                          time_budget=args.time_budget,
-                                          rng=random.Random(args.seed)),
-               "majority": MajorityVoteAttack(rounds=args.rounds,
-                                              rng=random.Random(args.seed)),
-               "random": RandomGuessAttack(random.Random(args.seed))}
-    attack = attacks[args.attack]
+    # deterministic=False keeps this command's historical semantics:
+    # --time-budget is a wall-clock bound on the auto-ML search, unlike
+    # scenario runs, which trade that for machine-independent records.
+    attack = make_attack(args.attack, random.Random(args.seed),
+                         rounds=args.rounds, time_budget=args.time_budget,
+                         deterministic=False)
     result = attack.attack(design)
     print(f"Attack        : {args.attack}")
     print(f"Model         : {result.model_name}")
@@ -175,7 +189,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
-    """Run the Fig. 6 style evaluation on a set of benchmarks."""
+    """Run the Fig. 6 style evaluation on a set of benchmarks.
+
+    This is a shim over the scenario API: the options are folded into an
+    :class:`ExperimentConfig`, whose scenario equivalent is executed by the
+    :class:`repro.api.Runner` (use ``--emit-scenario`` to write that scenario
+    out for ``repro-lock run``).  Results are bit-identical to the historical
+    serial pipeline at the same seed, for any ``--jobs`` count.
+    """
     config = ExperimentConfig(
         benchmarks=args.benchmarks or ["MD5", "FIR", "SASC", "N_2046", "N_1023"],
         algorithms=tuple(args.algorithms),
@@ -185,12 +206,70 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         automl_time_budget=args.time_budget,
         seed=args.seed,
     )
-    result = SnapShotExperiment(config).run()
+    if args.emit_scenario is not None:
+        config.to_scenario().save(args.emit_scenario)
+        print(f"Equivalent scenario written to {args.emit_scenario}")
+    store = ResultsStore(args.store) if args.store is not None else None
+    try:
+        result = SnapShotExperiment(config).run(jobs=args.jobs, store=store)
+    except (ScenarioError, StoreError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     report = experiment_report(result)
     print(report)
+    if store is not None:
+        print(f"\nResults store: {store.root}")
     if args.output is not None:
         args.output.write_text(report + "\n")
         print(f"\nReport written to {args.output}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run a declarative scenario file through the parallel runner."""
+    try:
+        scenario = Scenario.from_file(args.scenario)
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    store = ResultsStore(args.store if args.store is not None
+                         else Path("runs") / scenario.name)
+
+    def progress(done: int, total: int, record: dict) -> None:
+        if args.quiet:
+            return
+        label = record.get("attack") or record.get("metric") or "?"
+        print(f"[{done}/{total}] {record['kind']:6s} {record['benchmark']}"
+              f"/{record['locker']}/{label} s{record['sample']}"
+              f" ({record.get('elapsed_seconds', 0.0):.2f}s)")
+
+    try:
+        report = Runner(scenario, store=store, jobs=args.jobs,
+                        resume=not args.no_resume, progress=progress).run()
+    except (ScenarioError, StoreError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except JobExecutionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(f"Completed jobs were committed to {store.root}; re-run to "
+              "resume.", file=sys.stderr)
+        return 1
+    print(f"Scenario {scenario.name!r}: {report.total} job(s) — "
+          f"{report.executed} executed, {report.skipped} skipped "
+          f"(resume {'off' if args.no_resume else 'on'})")
+    print(f"Results store: {store.root} (manifest: {store.manifest_path})")
+
+    samples = report.kpa_samples()
+    if samples:
+        print()
+        print(report_from_samples(
+            samples, algorithms=[spec.algorithm for spec in scenario.lockers]))
+    metric_names_run = sorted({record["metric"]
+                               for record in report.records.values()
+                               if record.get("kind") == "metric"})
+    if metric_names_run:
+        print(f"\nMetrics recorded: {', '.join(metric_names_run)} "
+              f"(see {store.jobs_dir})")
     return 0
 
 
@@ -235,6 +314,28 @@ def cmd_sim_bench(args: argparse.Namespace) -> int:
     if sweeps:
         print()
         print(format_sweep_report(sweeps))
+    if args.avalanche:
+        from .locking.metrics import avalanche_sensitivity
+        from .sim import SimulationError
+
+        rows = []
+        for label, design in suite:
+            try:
+                report = avalanche_sensitivity(
+                    design, vectors=min(args.vectors, 64),
+                    rng=random.Random(args.seed))
+            except (SimulationError, ValueError) as exc:
+                rows.append([label, "-", "-", "-", "-", f"({exc})"])
+                continue
+            rows.append([label, report.signal, len(report.bit_indices),
+                         f"{report.mean_sensitivity:.3f}",
+                         f"{report.min_sensitivity:.3f}",
+                         f"{report.max_sensitivity:.3f}"])
+        print()
+        print(format_table(
+            ["design", "probed input", "bits", "mean", "min", "max"],
+            rows, title="Avalanche sensitivity (fraction of output bits "
+                        "flipped per single-bit input flip)"))
     if args.json is not None:
         args.json.write_text(json.dumps(report_json(results, sweeps),
                                         indent=2) + "\n")
@@ -265,10 +366,14 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--top", default=None)
     analyze.set_defaults(func=cmd_analyze)
 
+    lockers = tuple(locker_names(include_aliases=True))
+    attacks = tuple(attack_names(include_aliases=True))
+
     lock = subparsers.add_parser("lock", help="lock a Verilog design")
     lock.add_argument("input", type=Path)
     lock.add_argument("--top", default=None)
-    lock.add_argument("-a", "--algorithm", choices=ALGORITHMS, default="era")
+    lock.add_argument("-a", "--algorithm", choices=lockers, default="era",
+                      help="registered locking algorithm (default: era)")
     lock.add_argument("--budget", type=float, default=0.75,
                       help="key budget as a fraction of lockable operations")
     lock.add_argument("--key-bits", type=int, default=None,
@@ -283,8 +388,8 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--top", default=None)
     attack.add_argument("--key-file", type=Path, default=None,
                         help="key metadata JSON produced by the lock command")
-    attack.add_argument("--attack", choices=("snapshot", "majority", "random"),
-                        default="snapshot")
+    attack.add_argument("--attack", choices=attacks, default="snapshot",
+                        help="registered attack (default: snapshot)")
     attack.add_argument("--rounds", type=int, default=30)
     attack.add_argument("--time-budget", type=float, default=8.0)
     attack.add_argument("--show-key", action="store_true")
@@ -301,16 +406,41 @@ def build_parser() -> argparse.ArgumentParser:
 
     evaluate = subparsers.add_parser("evaluate",
                                      help="run the Fig. 6 style evaluation")
-    evaluate.add_argument("--benchmarks", nargs="*", default=None)
+    evaluate.add_argument("--benchmarks", nargs="*", default=None,
+                          choices=benchmark_names())
     evaluate.add_argument("--algorithms", nargs="*",
-                          default=["assure", "hra", "era"])
+                          default=["assure", "hra", "era"], choices=lockers,
+                          help="registered locking algorithms to evaluate")
     evaluate.add_argument("--scale", type=float, default=0.15)
     evaluate.add_argument("--samples", type=int, default=2)
     evaluate.add_argument("--rounds", type=int, default=25)
     evaluate.add_argument("--time-budget", type=float, default=4.0)
     evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument("--jobs", type=int, default=1,
+                          help="worker processes for the scenario runner")
+    evaluate.add_argument("--store", type=Path, default=None,
+                          help="results-store directory (makes the run "
+                               "resumable)")
+    evaluate.add_argument("--emit-scenario", type=Path, default=None,
+                          help="write the equivalent scenario JSON for "
+                               "'repro-lock run'")
     evaluate.add_argument("-o", "--output", type=Path, default=None)
     evaluate.set_defaults(func=cmd_evaluate)
+
+    run = subparsers.add_parser(
+        "run", help="run a declarative scenario JSON (resumable, parallel)")
+    run.add_argument("scenario", type=Path,
+                     help="scenario JSON file (see repro.api.Scenario)")
+    run.add_argument("-j", "--jobs", type=int, default=1,
+                     help="worker processes (default: 1, serial)")
+    run.add_argument("--store", type=Path, default=None,
+                     help="results-store directory "
+                          "(default: runs/<scenario name>)")
+    run.add_argument("--no-resume", action="store_true",
+                     help="re-execute jobs even when their record exists")
+    run.add_argument("-q", "--quiet", action="store_true",
+                     help="suppress per-job progress lines")
+    run.set_defaults(func=cmd_run)
 
     sim_bench = subparsers.add_parser(
         "sim-bench",
@@ -334,6 +464,10 @@ def build_parser() -> argparse.ArgumentParser:
                            const=Path("BENCH_sim.json"), default=None,
                            help="write per-engine timings and speedups as "
                                 "JSON (default path: BENCH_sim.json)")
+    sim_bench.add_argument("--avalanche", action="store_true",
+                           help="also report per-design input avalanche "
+                                "sensitivity (single-bit flips, one "
+                                "bit-parallel sweep per design)")
     sim_bench.set_defaults(func=cmd_sim_bench)
 
     return parser

@@ -6,6 +6,7 @@ from .experiment import (
     ExperimentConfig,
     ExperimentResult,
     SnapShotExperiment,
+    attack_result_from_record,
     make_locker,
 )
 from .figures import (
@@ -17,9 +18,17 @@ from .figures import (
     figure5_design,
     figure5_surface,
     figure5_trajectories,
+    figure6_from_store,
     figure6_kpa,
 )
-from .reporting import ShapeCheck, experiment_report, shape_checks
+from .reporting import (
+    ShapeCheck,
+    experiment_report,
+    experiment_report_from_store,
+    kpa_tables_from_samples,
+    report_from_samples,
+    shape_checks,
+)
 from .tables import (
     average_kpa_text,
     format_table,
@@ -34,6 +43,7 @@ __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
     "SnapShotExperiment",
+    "attack_result_from_record",
     "make_locker",
     "PAPER_AVERAGE_KPA",
     "Figure6Data",
@@ -43,9 +53,13 @@ __all__ = [
     "figure5_design",
     "figure5_surface",
     "figure5_trajectories",
+    "figure6_from_store",
     "figure6_kpa",
     "ShapeCheck",
     "experiment_report",
+    "experiment_report_from_store",
+    "kpa_tables_from_samples",
+    "report_from_samples",
     "shape_checks",
     "average_kpa_text",
     "format_table",

@@ -20,16 +20,13 @@ benchmarks.
 from __future__ import annotations
 
 import random
-import zlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
+from ..api import registry as _registry
 from ..attacks.kpa import KpaAggregate, KpaSample, aggregate_by
 from ..attacks.snapshot import AttackResult, SnapShotAttack
 from ..bench.registry import benchmark_names, load_benchmark
-from ..locking.assure import AssureLocker
-from ..locking.era import ERALocker
-from ..locking.hra import GreedyLocker, HRALocker
 from ..locking.pairs import PairTable
 from ..rtlir.design import Design
 
@@ -42,32 +39,39 @@ def make_locker(algorithm: str, rng: random.Random,
                 track_metrics: bool = False):
     """Instantiate a locking algorithm by name.
 
+    Thin lookup into the :mod:`repro.api` locker registry — algorithms
+    registered with :func:`repro.api.register_locker` (built-in or
+    third-party) are all constructible here.
+
     Args:
-        algorithm: ``assure`` (serial), ``assure-random``, ``hra``, ``greedy``
-            or ``era``.
+        algorithm: Registered algorithm name (``assure``, ``assure-random``,
+            ``hra``, ``greedy``, ``era``, ... — see
+            :func:`repro.api.locker_names`).
         rng: Random source handed to the locker.
         pair_table: Pair table override.
         track_metrics: Enable metric-trajectory tracking.
 
     Raises:
-        ValueError: for unknown algorithm names.
+        ValueError: for unregistered algorithm names.
     """
-    if algorithm in ("assure", "assure-serial"):
-        return AssureLocker("serial", pair_table=pair_table, rng=rng,
-                            track_metrics=track_metrics)
-    if algorithm == "assure-random":
-        return AssureLocker("random", pair_table=pair_table, rng=rng,
-                            track_metrics=track_metrics)
-    if algorithm == "hra":
-        return HRALocker(pair_table=pair_table, rng=rng,
-                         track_metrics=track_metrics)
-    if algorithm == "greedy":
-        return GreedyLocker(pair_table=pair_table, rng=rng,
-                            track_metrics=track_metrics)
-    if algorithm == "era":
-        return ERALocker(pair_table=pair_table, rng=rng,
-                         track_metrics=track_metrics)
-    raise ValueError(f"unknown locking algorithm {algorithm!r}")
+    return _registry.make_locker(algorithm, rng, pair_table=pair_table,
+                                 track_metrics=track_metrics)
+
+
+def attack_result_from_record(record: Mapping) -> AttackResult:
+    """Rebuild an :class:`AttackResult` from a results-store job record."""
+    result = record["result"]
+    return AttackResult(
+        design_name=result["design_name"],
+        predicted_key=[int(b) for b in result["predicted_key"]],
+        correct_key=[int(b) for b in result["correct_key"]],
+        kpa=float(result["kpa"]),
+        model_name=result["model_name"],
+        training_size=int(result["training_size"]),
+        per_bit_correct=[bool(b) for b in result["per_bit_correct"]],
+        metadata=dict(result.get("metadata", {})),
+        functional_kpa=result.get("functional_kpa"),
+    )
 
 
 @dataclass
@@ -104,6 +108,19 @@ class ExperimentConfig:
     functional_vectors: int = 0
     pair_table: Optional[PairTable] = None
     seed: int = 0
+
+    def to_scenario(self, name: str = "evaluate"):
+        """The declarative :class:`repro.api.Scenario` equivalent of this config.
+
+        Running the scenario reproduces :meth:`SnapShotExperiment.run` bit
+        for bit at the same seed (both execute the same self-seeded jobs
+        with the deterministic auto-ML budget).  ``pair_table`` is a runtime
+        object and is *not* part of the scenario; pass it to the
+        :class:`repro.api.Runner` instead.
+        """
+        from ..api.scenario import Scenario
+
+        return Scenario.from_experiment_config(self, name=name)
 
 
 @dataclass
@@ -164,6 +181,42 @@ class ExperimentResult:
         """Aggregate KPA per benchmark across all algorithms."""
         return aggregate_by(self.kpa_samples(), key="design_name")
 
+    @classmethod
+    def from_records(cls, config: ExperimentConfig,
+                     records: Mapping[str, Mapping]) -> "ExperimentResult":
+        """Rebuild an experiment result from runner/store job records.
+
+        Args:
+            config: The configuration the records were produced under (its
+                benchmark/algorithm lists define the cell order).
+            records: ``{job_id: record}`` as returned by
+                :meth:`repro.api.Runner.run` or read from a
+                :class:`repro.api.ResultsStore`.
+        """
+        by_cell: Dict[tuple, List[Mapping]] = {}
+        for record in records.values():
+            if record.get("kind") != "attack":
+                continue
+            key = (record["benchmark"], record["locker"])
+            by_cell.setdefault(key, []).append(record)
+
+        result = cls(config=config)
+        for benchmark in config.benchmarks:
+            for algorithm in config.algorithms:
+                cell_records = sorted(by_cell.get((benchmark, algorithm), []),
+                                      key=lambda r: int(r["sample"]))
+                if not cell_records:
+                    continue
+                cell = CellResult(
+                    benchmark=benchmark, algorithm=algorithm,
+                    key_budget=int(cell_records[0]["key_budget"]),
+                    num_operations=int(cell_records[0]["num_operations"]),
+                    attacks=[attack_result_from_record(record)
+                             for record in cell_records],
+                )
+                result.cells.append(cell)
+        return result
+
 
 class SnapShotExperiment:
     """Runs the full lock → attack → KPA pipeline of Section 5."""
@@ -174,9 +227,20 @@ class SnapShotExperiment:
     # ---------------------------------------------------------------- running
 
     def run(self, progress: Optional[Callable[[int, int, CellResult], None]]
-            = None) -> ExperimentResult:
+            = None, jobs: int = 1, store=None,
+            resume: bool = True) -> ExperimentResult:
         """Run every (benchmark, algorithm) cell of the configuration.
 
+        The experiment is expressed as a :class:`repro.api.Scenario` and
+        executed by the :class:`repro.api.Runner` — one lock → attack job
+        per (benchmark, algorithm, sample), with the exact per-cell seed
+        derivation this class used historically.  Results are a pure
+        function of the configuration: independent of ``jobs``, machine
+        speed and CPU load, because the scenario path runs the auto-ML
+        search in deterministic-budget mode (one candidate per budget
+        second) instead of the wall-clock deadline the pre-scenario
+        pipeline used — so absolute KPA values may differ from historical
+        wall-clock runs, but never between two invocations of this method.
         Functional validation (``functional_vectors > 0``) draws every
         sample's evaluation plan from the process-wide cache, so repeated
         checks of one locked sample compile its netlist exactly once.
@@ -185,17 +249,43 @@ class SnapShotExperiment:
             progress: Optional callback invoked as
                 ``progress(done_cells, total_cells, cell)`` after every
                 completed (benchmark, algorithm) cell.
+            jobs: Worker processes (1 = in-process; >1 requires
+                ``config.pair_table`` to be ``None``).
+            store: Optional :class:`repro.api.ResultsStore` making the run
+                resumable.
+            resume: Skip jobs already present in ``store``.
         """
-        result = ExperimentResult(config=self.config)
-        total = len(self.config.benchmarks) * len(self.config.algorithms)
-        for benchmark in self.config.benchmarks:
-            design = self.load_design(benchmark)
-            for algorithm in self.config.algorithms:
-                cell = self.run_cell(design, benchmark, algorithm)
-                result.cells.append(cell)
-                if progress is not None:
-                    progress(len(result.cells), total, cell)
-        return result
+        from ..api.runner import Runner
+
+        config = self.config
+        scenario = config.to_scenario()
+        total_cells = len(config.benchmarks) * len(config.algorithms)
+        per_cell: Dict[tuple, List[dict]] = {}
+        done_cells = 0
+
+        def on_record(done: int, total: int, record: dict) -> None:
+            nonlocal done_cells
+            if progress is None or record.get("kind") != "attack":
+                return
+            key = (record["benchmark"], record["locker"])
+            cell_records = per_cell.setdefault(key, [])
+            cell_records.append(record)
+            if len(cell_records) == config.n_test_lockings:
+                done_cells += 1
+                cell = CellResult(
+                    benchmark=key[0], algorithm=key[1],
+                    key_budget=int(cell_records[0]["key_budget"]),
+                    num_operations=int(cell_records[0]["num_operations"]),
+                    attacks=[attack_result_from_record(r)
+                             for r in sorted(cell_records,
+                                             key=lambda r: int(r["sample"]))],
+                )
+                progress(done_cells, total_cells, cell)
+
+        runner = Runner(scenario, store=store, jobs=jobs, resume=resume,
+                        progress=on_record, pair_table=config.pair_table)
+        report = runner.run()
+        return ExperimentResult.from_records(config, report.records)
 
     def load_design(self, benchmark: str) -> Design:
         """Load one benchmark at the configured scale."""
@@ -205,21 +295,18 @@ class SnapShotExperiment:
     def key_budget_for(self, design: Design, benchmark: str,
                        algorithm: str) -> int:
         """Key budget of a cell (75 % of operations; 100 % for N_2046 + ERA)."""
-        fraction = self.config.key_budget_fraction
-        if benchmark == "N_2046" and algorithm == "era":
-            # The perfectly imbalanced design needs a dummy per operation to
-            # reach balance (Section 5, "Attack setup").
-            fraction = 1.0
-        return max(1, int(round(fraction * design.num_operations())))
+        from ..api.scenario import key_budget
+
+        return key_budget(self.config.key_budget_fraction, benchmark,
+                          algorithm, design.num_operations())
 
     def run_cell(self, design: Design, benchmark: str,
                  algorithm: str) -> CellResult:
         """Lock ``design`` ``n_test_lockings`` times and attack every sample."""
+        from ..api.scenario import cell_seed as derive_cell_seed
+
         config = self.config
-        # zlib.crc32 keeps the per-cell seed stable across processes (Python's
-        # built-in hash() of strings is salted per interpreter run).
-        cell_seed = zlib.crc32(
-            f"{config.seed}/{benchmark}/{algorithm}".encode()) & 0x7FFFFFFF
+        cell_seed = derive_cell_seed(config.seed, benchmark, algorithm)
         budget = self.key_budget_for(design, benchmark, algorithm)
         cell = CellResult(benchmark=benchmark, algorithm=algorithm,
                           key_budget=budget,

@@ -317,11 +317,15 @@ def figure5_trajectories(plus_imbalance: int = 25, shift_imbalance: int = 10,
 
 @dataclass
 class Figure6Data:
-    """Per-benchmark and average KPA (Fig. 6a and 6b)."""
+    """Per-benchmark and average KPA (Fig. 6a and 6b).
+
+    ``result`` is ``None`` when the data was read back from a results store
+    rather than produced by an in-memory experiment run.
+    """
 
     per_benchmark: Dict[str, Dict[str, float]]
     average: Dict[str, float]
-    result: ExperimentResult
+    result: Optional[ExperimentResult] = None
 
 
 def figure6_kpa(config: Optional[ExperimentConfig] = None) -> Figure6Data:
@@ -331,6 +335,19 @@ def figure6_kpa(config: Optional[ExperimentConfig] = None) -> Figure6Data:
     return Figure6Data(per_benchmark=result.kpa_table(),
                        average=result.average_kpa(),
                        result=result)
+
+
+def figure6_from_store(store) -> Figure6Data:
+    """Build the Fig. 6 data from a :class:`repro.api.ResultsStore`.
+
+    Reads the per-job KPA records written by a scenario run instead of
+    re-running anything, so figures can be (re)built long after the run —
+    and incrementally while a resumable run is still filling the store.
+    """
+    from .reporting import kpa_tables_from_samples
+
+    per_benchmark, average = kpa_tables_from_samples(store.kpa_samples())
+    return Figure6Data(per_benchmark=per_benchmark, average=average)
 
 
 #: KPA values reported by the paper (Fig. 6b) — used by EXPERIMENTS.md and by

@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Sequence
 
+from ..attacks.kpa import KpaSample, aggregate_by
 from .experiment import ExperimentResult
 from .figures import PAPER_AVERAGE_KPA
 from .tables import average_kpa_text, kpa_table_text
@@ -93,12 +94,64 @@ def shape_checks(average: Mapping[str, float],
 
 def experiment_report(result: ExperimentResult) -> str:
     """Render a full text report (Fig. 6a table, Fig. 6b table, shape checks)."""
-    per_benchmark = result.kpa_table()
-    average = result.average_kpa()
-    algorithms = list(result.config.algorithms)
+    return _render_report(result.kpa_table(), result.average_kpa(),
+                          list(result.config.algorithms))
 
+
+def kpa_tables_from_samples(samples: Sequence[KpaSample],
+                            ) -> tuple:
+    """Build ``(per_benchmark, average)`` KPA tables from flat samples.
+
+    The store-backed counterpart of :meth:`ExperimentResult.kpa_table` and
+    :meth:`ExperimentResult.average_kpa`, usable on any
+    :class:`~repro.attacks.kpa.KpaSample` list (e.g.
+    :meth:`repro.api.ResultsStore.kpa_samples`).
+    """
+    grouped: Dict[str, Dict[str, List[float]]] = {}
+    for sample in samples:
+        grouped.setdefault(sample.design_name, {}) \
+            .setdefault(sample.algorithm, []).append(sample.value)
+    per_benchmark = {
+        benchmark: {algorithm: sum(values) / len(values)
+                    for algorithm, values in cells.items()}
+        for benchmark, cells in grouped.items()
+    }
+    average = {name: agg.mean
+               for name, agg in aggregate_by(list(samples),
+                                             key="algorithm").items()}
+    return per_benchmark, average
+
+
+def report_from_samples(samples: Sequence[KpaSample],
+                        algorithms: Optional[Sequence[str]] = None) -> str:
+    """Render the Fig. 6 style report from flat KPA samples."""
+    per_benchmark, average = kpa_tables_from_samples(samples)
+    if algorithms is None:
+        algorithms = sorted(average)
+    return _render_report(per_benchmark, average, list(algorithms))
+
+
+def experiment_report_from_store(store) -> str:
+    """Render the Fig. 6 style report straight from a results store.
+
+    The store's manifest provides the scenario (and therefore the algorithm
+    column order); KPA data comes from the per-job records — nothing is kept
+    in memory between the run and the report.
+    """
+    scenario = store.scenario()
+    algorithms = [spec.algorithm for spec in scenario.lockers]
+    return report_from_samples(store.kpa_samples(), algorithms=algorithms)
+
+
+def _render_report(per_benchmark: Mapping[str, Mapping[str, float]],
+                   average: Mapping[str, float],
+                   algorithms: Sequence[str]) -> str:
+    ordered = {name: average[name] for name in algorithms if name in average}
+    ordered.update({name: value for name, value in average.items()
+                    if name not in ordered})
+    average = ordered
     parts = [
-        kpa_table_text(per_benchmark, algorithms=algorithms),
+        kpa_table_text(per_benchmark, algorithms=list(algorithms)),
         "",
         average_kpa_text(average, paper=PAPER_AVERAGE_KPA),
         "",

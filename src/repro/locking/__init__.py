@@ -28,9 +28,11 @@ from .key import (
 )
 from .lockstep import lock_step, undo_step
 from .metrics import (
+    AvalancheReport,
     FunctionalCorruptionReport,
     MetricPoint,
     MetricTracker,
+    avalanche_sensitivity,
     functional_corruption,
     global_metric,
     key_bit_sensitivity,
@@ -69,9 +71,11 @@ __all__ = [
     "string_to_key",
     "lock_step",
     "undo_step",
+    "AvalancheReport",
     "FunctionalCorruptionReport",
     "MetricPoint",
     "MetricTracker",
+    "avalanche_sensitivity",
     "functional_corruption",
     "global_metric",
     "key_bit_sensitivity",

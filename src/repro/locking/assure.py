@@ -247,3 +247,28 @@ def _lockable_branches(design: Design) -> List[ast.IfStatement]:
                 if isinstance(node, ast.IfStatement):
                     branches.append(node)
     return branches
+
+
+# ---------------------------------------------------------------------------
+# Registry factories (see repro.api)
+# ---------------------------------------------------------------------------
+
+from ..api.registry import register_locker  # noqa: E402
+
+
+@register_locker("assure", aliases=("assure-serial",))
+def _make_assure_serial(rng: random.Random,
+                        pair_table: Optional[PairTable] = None,
+                        track_metrics: bool = False, **_: object) -> AssureLocker:
+    """Baseline ASSURE with serial (topological) operation selection."""
+    return AssureLocker("serial", pair_table=pair_table, rng=rng,
+                        track_metrics=track_metrics)
+
+
+@register_locker("assure-random")
+def _make_assure_random(rng: random.Random,
+                        pair_table: Optional[PairTable] = None,
+                        track_metrics: bool = False, **_: object) -> AssureLocker:
+    """ASSURE with uniformly random operation selection."""
+    return AssureLocker("random", pair_table=pair_table, rng=rng,
+                        track_metrics=track_metrics)

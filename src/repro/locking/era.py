@@ -103,3 +103,18 @@ class ERALocker:
             if session.ops_of_type(first) or session.ops_of_type(second):
                 pairs.append((first, second))
         return pairs
+
+
+# ---------------------------------------------------------------------------
+# Registry factory (see repro.api)
+# ---------------------------------------------------------------------------
+
+from ..api.registry import register_locker  # noqa: E402
+
+
+@register_locker("era")
+def _make_era(rng: random.Random, pair_table: Optional[PairTable] = None,
+              track_metrics: bool = False, **_: object) -> ERALocker:
+    """Exact ML-Resilient Algorithm (Algorithm 3)."""
+    return ERALocker(pair_table=pair_table, rng=rng,
+                     track_metrics=track_metrics)

@@ -154,3 +154,26 @@ class GreedyLocker(HRALocker):
                  track_metrics: bool = True) -> None:
         super().__init__(pair_table=pair_table, rng=rng, greedy=True,
                          track_metrics=track_metrics)
+
+
+# ---------------------------------------------------------------------------
+# Registry factories (see repro.api)
+# ---------------------------------------------------------------------------
+
+from ..api.registry import register_locker  # noqa: E402
+
+
+@register_locker("hra")
+def _make_hra(rng: random.Random, pair_table: Optional[PairTable] = None,
+              track_metrics: bool = False, **_: object) -> HRALocker:
+    """Heuristic ML-Resilient Algorithm (Algorithm 4)."""
+    return HRALocker(pair_table=pair_table, rng=rng,
+                     track_metrics=track_metrics)
+
+
+@register_locker("greedy")
+def _make_greedy(rng: random.Random, pair_table: Optional[PairTable] = None,
+                 track_metrics: bool = False, **_: object) -> GreedyLocker:
+    """Deterministic Greedy variant of HRA."""
+    return GreedyLocker(pair_table=pair_table, rng=rng,
+                        track_metrics=track_metrics)

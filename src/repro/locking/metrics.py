@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -331,3 +331,198 @@ def key_bit_sensitivity(design, base_key: Optional[Sequence[int]] = None,
 
     return [len(differing_lanes(reference, outputs, n=vectors)) / vectors
             for outputs in flipped_runs]
+
+
+@dataclass
+class AvalancheReport:
+    """Input-avalanche profile of a design (single-bit input flips).
+
+    Attributes:
+        signal: Name of the probed input signal.
+        base_value: Base value the probed signal is held at.
+        vectors: Number of random context vectors (values of the *other*
+            inputs) each flip is evaluated against.
+        bit_indices: Probed bit positions of ``signal``, one per flip point.
+        per_bit: Mean fraction of *output bits* flipped by each single-bit
+            input flip (0.5 is the ideal avalanche of a cipher-like design).
+        lanes_changed: Fraction of context vectors with at least one
+            differing output, per flip point.
+    """
+
+    signal: str
+    base_value: int
+    vectors: int
+    bit_indices: List[int]
+    per_bit: List[float]
+    lanes_changed: List[float]
+
+    @property
+    def mean_sensitivity(self) -> float:
+        """Mean output-bit flip fraction over all probed input bits."""
+        if not self.per_bit:
+            return 0.0
+        return float(np.mean(self.per_bit))
+
+    @property
+    def max_sensitivity(self) -> float:
+        """Strongest single-bit avalanche observed."""
+        return float(max(self.per_bit)) if self.per_bit else 0.0
+
+    @property
+    def min_sensitivity(self) -> float:
+        """Weakest single-bit avalanche observed (0.0 = dead input bit)."""
+        return float(min(self.per_bit)) if self.per_bit else 0.0
+
+
+def avalanche_sensitivity(design, signal: Optional[str] = None,
+                          bits: Optional[Sequence[int]] = None,
+                          vectors: int = 16,
+                          key: Optional[Sequence[int]] = None,
+                          rng: Optional[random.Random] = None,
+                          ) -> AvalancheReport:
+    """Single-bit input-flip avalanche study in one bit-parallel pass.
+
+    One input signal is held at a random base value while the remaining
+    inputs take ``vectors`` random context values; every probed bit flip of
+    the base value becomes one sweep point of a single
+    :meth:`~repro.sim.batch.BatchSimulator.run_sweep` pass — S single-bit-flip
+    points × V context lanes evaluate together instead of S batch calls.
+    Locked designs are evaluated under their correct key (or ``key``), so the
+    profile measures the *functional* avalanche of the design, not key
+    corruption (see :func:`functional_corruption` for that).
+
+    Designs the plan compiler cannot express fall back to a scalar per-point
+    loop with bit-identical numbers.
+
+    Args:
+        design: The (locked or unlocked) design to profile.
+        signal: Probed input name; defaults to the widest data input.
+        bits: Bit positions of ``signal`` to flip (default: every bit).
+        vectors: Context vectors shared by all flip points.
+        key: Key to simulate under (locked designs only; defaults to the
+            correct key).
+        rng: Random source for the base value and context vectors.
+
+    Raises:
+        ValueError: for designs without data inputs, unknown signals,
+            out-of-range bit indices or a non-positive vector count.
+    """
+    from ..sim import (BatchCompileError, batch_to_vectors, cached_simulator,
+                      differing_lanes, input_signals, output_signals,
+                      random_vector_batch)
+    from ..sim.simulator import CombinationalSimulator
+
+    if vectors < 1:
+        raise ValueError("vectors must be positive")
+    signals = input_signals(design)
+    if not signals:
+        raise ValueError("avalanche sensitivity needs at least one data input")
+    widths = dict(signals)
+    if signal is None:
+        signal = max(signals, key=lambda item: item[1])[0]
+    if signal not in widths:
+        raise ValueError(f"unknown input signal {signal!r}; available: "
+                         f"{sorted(widths)}")
+    width = widths[signal]
+    bit_indices = list(bits) if bits is not None else list(range(width))
+    if any(b < 0 or b >= width for b in bit_indices):
+        raise ValueError(f"bit index out of range for {width}-bit "
+                         f"signal {signal!r}")
+    rng = rng or random.Random()
+
+    base_value = rng.getrandbits(width)
+    context_signals = [(name, w) for name, w in signals if name != signal]
+    context = random_vector_batch(context_signals, rng, vectors)
+    bindings = [{signal: base_value}] + \
+        [{signal: base_value ^ (1 << b)} for b in bit_indices]
+    keys = None
+    if design.is_locked:
+        chosen = list(key) if key is not None else design.correct_key
+        keys = [chosen] * len(bindings)
+
+    try:
+        simulator = cached_simulator(design)
+        runs = simulator.run_sweep(context, keys=keys, bindings=bindings,
+                                   n=vectors)
+    except BatchCompileError:
+        scalar = CombinationalSimulator(design)
+        chosen = None
+        if design.is_locked:
+            chosen = list(key) if key is not None else design.correct_key
+        context_vectors = batch_to_vectors(context, vectors)
+        runs = []
+        for point in bindings:
+            outputs: Dict[str, List[int]] = {name: []
+                                             for name in scalar.output_names}
+            for vector in context_vectors:
+                values = scalar.run({**vector, **point}, key=chosen)
+                for name in outputs:
+                    outputs[name].append(values[name])
+            runs.append(outputs)
+
+    reference, *flipped_runs = runs
+    output_widths = {name: w for name, w in output_signals(design)
+                     if name in reference}
+    total_bits = max(sum(output_widths.values()), 1)
+
+    per_bit: List[float] = []
+    lanes_changed: List[float] = []
+    for flipped in flipped_runs:
+        lanes = differing_lanes(reference, flipped, n=vectors)
+        flipped_bits = 0
+        for lane in lanes:
+            for name in output_widths:
+                delta = reference[name][lane] ^ flipped[name][lane]
+                flipped_bits += delta.bit_count()
+        per_bit.append(flipped_bits / (vectors * total_bits))
+        lanes_changed.append(len(lanes) / vectors)
+
+    return AvalancheReport(signal=signal, base_value=base_value,
+                           vectors=vectors, bit_indices=bit_indices,
+                           per_bit=per_bit, lanes_changed=lanes_changed)
+
+
+# ---------------------------------------------------------------------------
+# Registry metrics (see repro.api)
+# ---------------------------------------------------------------------------
+
+from ..api.registry import register_metric  # noqa: E402
+
+
+@register_metric("corruption", aliases=("functional-corruption",))
+def _corruption_metric(design, rng: Optional[random.Random] = None,
+                       vectors: int = 32, wrong_keys: int = 4,
+                       **_: object) -> Dict[str, object]:
+    """Output corruption under sampled wrong keys (locked designs)."""
+    report = functional_corruption(design, vectors=vectors,
+                                   wrong_keys=wrong_keys, rng=rng)
+    return {"mean_corruption": report.mean_corruption,
+            "min_corruption": report.min_corruption,
+            "avalanche": report.avalanche,
+            "per_key_rates": list(report.per_key_rates)}
+
+
+@register_metric("key-sensitivity", aliases=("key_bit_sensitivity",))
+def _key_sensitivity_metric(design, rng: Optional[random.Random] = None,
+                            vectors: int = 32,
+                            **_: object) -> Dict[str, object]:
+    """Per-key-bit output sensitivity profile (locked designs)."""
+    per_bit = key_bit_sensitivity(design, vectors=vectors, rng=rng)
+    return {"per_bit": list(per_bit),
+            "mean": float(np.mean(per_bit)) if per_bit else 0.0,
+            "dead_bits": sum(1 for value in per_bit if value == 0.0)}
+
+
+@register_metric("avalanche", aliases=("avalanche_sensitivity",))
+def _avalanche_metric(design, rng: Optional[random.Random] = None,
+                      vectors: int = 16, signal: Optional[str] = None,
+                      **_: object) -> Dict[str, object]:
+    """Single-bit input-flip avalanche profile (any design)."""
+    report = avalanche_sensitivity(design, signal=signal, vectors=vectors,
+                                   rng=rng)
+    return {"signal": report.signal,
+            "mean": report.mean_sensitivity,
+            "max": report.max_sensitivity,
+            "min": report.min_sensitivity,
+            "per_bit": list(report.per_bit),
+            "lanes_changed": list(report.lanes_changed)}

@@ -139,12 +139,21 @@ class AutoMLClassifier(Estimator):
         candidates: Candidate roster; defaults to :func:`default_candidates`.
         max_candidates: Optional hard cap on evaluated candidates.
         random_state: Seed for fold shuffling and candidate tie-breaking.
+        deterministic: Interpret the budget *deterministically* instead of
+            by wall clock: one roster candidate per budget second (at least
+            one, rounded), evaluated without any mid-search deadline.  The
+            roster is ordered cheapest-first, so the cost still scales with
+            the budget, but the search result is a pure function of the
+            data and the seed — independent of machine speed or CPU
+            contention.  This is what makes scenario runs bit-identical
+            across serial and parallel execution.
     """
 
     def __init__(self, time_budget: float = 10.0, n_splits: int = 5,
                  candidates: Optional[Sequence[CandidateSpec]] = None,
                  max_candidates: Optional[int] = None,
-                 random_state: Optional[int] = None) -> None:
+                 random_state: Optional[int] = None,
+                 deterministic: bool = False) -> None:
         if time_budget <= 0:
             raise ValueError("time_budget must be positive")
         self.time_budget = time_budget
@@ -152,6 +161,7 @@ class AutoMLClassifier(Estimator):
         self.candidates = list(candidates) if candidates is not None else None
         self.max_candidates = max_candidates
         self.random_state = random_state
+        self.deterministic = deterministic
 
     # ---------------------------------------------------------------- fitting
 
@@ -163,9 +173,12 @@ class AutoMLClassifier(Estimator):
                   else default_candidates(self.random_state))
         if self.max_candidates is not None:
             roster = roster[: self.max_candidates]
+        if self.deterministic:
+            roster = roster[: max(1, int(round(self.time_budget)))]
 
         rng = np.random.default_rng(self.random_state)
-        deadline = time.monotonic() + self.time_budget
+        deadline = (float("inf") if self.deterministic
+                    else time.monotonic() + self.time_budget)
         self.leaderboard_: List[CandidateResult] = []
 
         for position, spec in enumerate(roster):

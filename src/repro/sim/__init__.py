@@ -46,6 +46,7 @@ from .plan_cache import (
     get_plan,
     plan_cache_info,
     set_plan_cache_size,
+    warm_plan_cache,
 )
 from .simulator import (
     ENGINES,
@@ -89,6 +90,7 @@ __all__ = [
     "get_plan",
     "plan_cache_info",
     "set_plan_cache_size",
+    "warm_plan_cache",
     "batch_to_vectors",
     "input_signals",
     "output_signals",

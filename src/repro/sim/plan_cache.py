@@ -26,6 +26,7 @@ from typing import Union
 
 from ..rtlir.design import Design
 from .batch import BatchCompileError, BatchSimulator, EvalPlan, compile_plan
+from .evaluator import SimulationError
 
 #: Default number of plans kept by the process-wide cache.
 DEFAULT_CACHE_SIZE = 128
@@ -89,6 +90,26 @@ def _store(fingerprint: str,
 def cached_simulator(design: Design) -> BatchSimulator:
     """A :class:`BatchSimulator` over the design's cached plan."""
     return BatchSimulator(design, plan=get_plan(design))
+
+
+def warm_plan_cache(design: Design) -> bool:
+    """Best-effort pre-compilation of a design's plan into the cache.
+
+    The warm-up hook of parallel scenario runners: a worker process calls
+    this once per design fingerprint it is about to attack, so every
+    simulation-backed step inside the worker (functional KPA, corruption and
+    avalanche metrics, equivalence checks) starts from a cache hit.
+
+    Returns:
+        True when a plan is now cached for the design; False when the design
+        is not batch-compilable or not simulatable at all (the scalar
+        fallback paths will handle it — warming never raises).
+    """
+    try:
+        get_plan(design)
+    except SimulationError:
+        return False
+    return True
 
 
 def clear_plan_cache() -> None:

@@ -1,0 +1,218 @@
+"""Runner + results store: serial/parallel equivalence, resume, aggregation."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    AttackSpec,
+    LockerSpec,
+    MetricSpec,
+    ResultsStore,
+    Runner,
+    Scenario,
+    StoreError,
+    execute_job,
+)
+
+
+def quick_scenario(**overrides):
+    base = dict(
+        name="runner-unit",
+        benchmarks=("SASC",),
+        lockers=(LockerSpec("assure"), LockerSpec("era")),
+        attacks=(AttackSpec("snapshot", rounds=4, time_budget=0.5),),
+        samples=1,
+        scale=0.15,
+        seed=3,
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+def strip_timing(record):
+    record = dict(record)
+    record.pop("elapsed_seconds", None)
+    return record
+
+
+class TestExecuteJob:
+    def test_attack_record_shape(self):
+        job = quick_scenario().expand()[0]
+        record = execute_job(job)
+        assert record["job_id"] == job.job_id
+        assert record["kind"] == "attack"
+        assert 0.0 <= record["result"]["kpa"] <= 100.0
+        assert len(record["result"]["predicted_key"]) == record["key_width"]
+        # Records must be JSON-clean end to end.
+        json.dumps(record)
+
+    def test_metric_record_shape(self):
+        scenario = quick_scenario(
+            attacks=(), metrics=(MetricSpec("avalanche", {"vectors": 4}),))
+        record = execute_job(scenario.expand()[0])
+        assert record["kind"] == "metric"
+        assert record["metric"] == "avalanche"
+        assert 0.0 <= record["result"]["mean"] <= 1.0
+        json.dumps(record)
+
+    def test_jobs_are_order_independent(self):
+        jobs = quick_scenario(samples=2).expand()
+        forward = [strip_timing(execute_job(job)) for job in jobs]
+        backward = [strip_timing(execute_job(job)) for job in reversed(jobs)]
+        assert forward == list(reversed(backward))
+
+
+class TestRunner:
+    def test_serial_run_covers_all_jobs(self):
+        report = Runner(quick_scenario()).run()
+        assert report.total == report.executed == 2
+        assert report.skipped == 0
+        assert set(report.average_kpa()) == {"assure", "era"}
+
+    def test_parallel_matches_serial_bit_for_bit(self):
+        scenario = quick_scenario(samples=2)
+        serial = Runner(scenario, jobs=1).run()
+        parallel = Runner(scenario, jobs=2).run()
+        assert set(serial.records) == set(parallel.records)
+        for job_id in serial.records:
+            assert strip_timing(serial.records[job_id]) == \
+                strip_timing(parallel.records[job_id])
+
+    def test_progress_callback_fires_per_job(self):
+        seen = []
+        Runner(quick_scenario(),
+               progress=lambda done, total, record:
+               seen.append((done, total, record["kind"]))).run()
+        assert seen == [(1, 2, "attack"), (2, 2, "attack")]
+
+    def test_pair_table_requires_serial_run(self):
+        from repro.locking import default_pair_table
+
+        with pytest.raises(ValueError):
+            Runner(quick_scenario(), jobs=2, pair_table=default_pair_table())
+
+    def test_invalid_jobs_count(self):
+        with pytest.raises(ValueError):
+            Runner(quick_scenario(), jobs=0)
+
+    def test_matches_snapshot_experiment(self):
+        """The runner reproduces the historical experiment bit for bit."""
+        from repro.eval import ExperimentConfig, SnapShotExperiment
+
+        config = ExperimentConfig(benchmarks=["SASC"],
+                                  algorithms=("assure", "era"), scale=0.15,
+                                  n_test_lockings=1, relock_rounds=4,
+                                  automl_time_budget=0.5, seed=3)
+        result = SnapShotExperiment(config).run()
+        report = Runner(config.to_scenario()).run()
+        assert result.average_kpa() == report.average_kpa()
+
+
+class TestResumableStore:
+    def test_second_run_executes_zero_jobs(self, tmp_path):
+        scenario = quick_scenario()
+        store = ResultsStore(tmp_path / "store")
+        first = Runner(scenario, store=store).run()
+        assert (first.executed, first.skipped) == (2, 0)
+        second = Runner(scenario, store=store).run()
+        assert (second.executed, second.skipped) == (0, 2)
+        # Resumed records are the stored ones, bit for bit.
+        for job_id, record in first.records.items():
+            assert second.records[job_id] == record
+
+    def test_partial_store_resumes_the_rest(self, tmp_path):
+        scenario = quick_scenario(samples=2)
+        store = ResultsStore(tmp_path / "store")
+        jobs = scenario.expand()
+        store.save(jobs[0].job_id, execute_job(jobs[0]))
+        report = Runner(scenario, store=store).run()
+        assert report.skipped == 1
+        assert report.executed == len(jobs) - 1
+
+    def test_no_resume_reexecutes(self, tmp_path):
+        scenario = quick_scenario()
+        store = ResultsStore(tmp_path / "store")
+        Runner(scenario, store=store).run()
+        report = Runner(scenario, store=store, resume=False).run()
+        assert report.executed == 2 and report.skipped == 0
+
+    def test_manifest_contents(self, tmp_path):
+        scenario = quick_scenario()
+        store = ResultsStore(tmp_path / "store")
+        Runner(scenario, store=store).run()
+        manifest = store.manifest()
+        assert manifest["scenario"] == scenario.to_dict()
+        assert manifest["scenario_fingerprint"] == scenario.fingerprint()
+        assert manifest["total_records"] == 2
+        assert {entry["job_id"] for entry in manifest["jobs"]} == \
+            set(store.job_ids())
+        assert store.scenario() == scenario
+
+    def test_failed_jobs_do_not_discard_completed_ones(self, tmp_path):
+        from repro.api import JobExecutionError, MetricSpec
+        from repro.api.registry import METRICS, register_metric
+
+        @register_metric("explode-test")
+        def _explode(design, rng=None, **_):
+            raise RuntimeError("boom")
+
+        scenario = quick_scenario(
+            attacks=(),
+            metrics=(MetricSpec("avalanche", {"vectors": 4}),
+                     MetricSpec("explode-test")))
+        store = ResultsStore(tmp_path / "store")
+        try:
+            with pytest.raises(JobExecutionError, match="explode-test"):
+                Runner(scenario, store=store, jobs=2).run()
+        finally:
+            METRICS.unregister("explode-test")
+        # The avalanche jobs completed and were committed; only the failing
+        # jobs are re-executed on resume.
+        committed = store.job_ids()
+        assert len(committed) == 2
+        assert all("avalanche" in job_id for job_id in committed)
+        assert store.manifest()["total_records"] == 2
+
+    def test_resume_refuses_a_foreign_scenario_store(self, tmp_path):
+        store = ResultsStore(tmp_path / "store")
+        Runner(quick_scenario(seed=3), store=store).run()
+        # Same job ids, different seed: resuming would mislabel old records.
+        with pytest.raises(StoreError, match="different scenario"):
+            Runner(quick_scenario(seed=4), store=store).run()
+
+    def test_no_resume_overwrites_a_foreign_scenario_store(self, tmp_path):
+        store = ResultsStore(tmp_path / "store")
+        Runner(quick_scenario(seed=3), store=store).run()
+        report = Runner(quick_scenario(seed=4), store=store,
+                        resume=False).run()
+        assert report.executed == 2
+        assert store.scenario_stamp() == quick_scenario(seed=4).fingerprint()
+        # Only the new scenario's records remain.
+        assert {r["seed"] for r in store.records()} == {4}
+
+    def test_store_error_paths(self, tmp_path):
+        store = ResultsStore(tmp_path / "empty")
+        with pytest.raises(StoreError):
+            store.load("nope")
+        with pytest.raises(StoreError):
+            store.manifest()
+        assert store.job_ids() == []
+
+    def test_kpa_samples_from_store(self, tmp_path):
+        store = ResultsStore(tmp_path / "store")
+        Runner(quick_scenario(), store=store).run()
+        samples = store.kpa_samples()
+        assert {sample.algorithm for sample in samples} == {"assure", "era"}
+        assert all(0.0 <= sample.value <= 100.0 for sample in samples)
+
+    def test_figures_and_report_read_from_store(self, tmp_path):
+        from repro.eval import experiment_report_from_store, figure6_from_store
+
+        store = ResultsStore(tmp_path / "store")
+        Runner(quick_scenario(), store=store).run()
+        data = figure6_from_store(store)
+        assert set(data.per_benchmark) == {"SASC"}
+        assert set(data.average) == {"assure", "era"}
+        report = experiment_report_from_store(store)
+        assert "Average KPA" in report and "SASC" in report

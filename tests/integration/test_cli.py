@@ -127,6 +127,127 @@ class TestBenchAndEvaluate:
         assert report_file.exists()
 
 
+class TestRegistryValidation:
+    def test_unknown_lock_algorithm_rejected_at_parse_time(self, design_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lock", str(design_file), "-a", "warlock"])
+        assert excinfo.value.code == 2  # argparse usage error
+
+    def test_unknown_attack_rejected_at_parse_time(self, design_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["attack", str(design_file), "--attack", "voodoo"])
+        assert excinfo.value.code == 2
+
+    def test_unknown_evaluate_algorithm_rejected_at_parse_time(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["evaluate", "--algorithms", "assure", "warlock"])
+        assert excinfo.value.code == 2
+
+    def test_help_lists_registered_names(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        assert "run" in parser.format_help()
+        # The lock/attack subparser help enumerates the registered choices.
+        sub = dict(parser._subparsers._group_actions[0].choices.items())
+        lock_help = sub["lock"].format_help()
+        assert "era" in lock_help and "assure-random" in lock_help
+        assert "pair-asymmetry" in sub["attack"].format_help()
+
+    def test_registry_addition_appears_in_choices(self):
+        from repro.api import LOCKERS, register_locker
+        from repro.cli import build_parser
+
+        @register_locker("cli-test-locker")
+        def factory(rng, pair_table=None, track_metrics=False, **_):
+            raise NotImplementedError
+
+        try:
+            parser = build_parser()
+            sub = dict(parser._subparsers._group_actions[0].choices.items())
+            assert "cli-test-locker" in sub["lock"].format_help()
+        finally:
+            LOCKERS.unregister("cli-test-locker")
+
+
+class TestRunScenario:
+    EVAL_ARGS = ["--benchmarks", "SASC", "--algorithms", "assure", "era",
+                 "--scale", "0.15", "--samples", "1", "--rounds", "4",
+                 "--time-budget", "0.5", "--seed", "3"]
+
+    @staticmethod
+    def _records(store_dir):
+        records = {}
+        for path in sorted((store_dir / "jobs").glob("*.json")):
+            record = json.loads(path.read_text())
+            record.pop("elapsed_seconds", None)
+            records[path.stem] = record
+        return records
+
+    def test_run_reproduces_evaluate_bit_identically(self, tmp_path, capsys):
+        scenario_file = tmp_path / "scenario.json"
+        eval_store = tmp_path / "eval_store"
+        assert main(["evaluate", *self.EVAL_ARGS,
+                     "--store", str(eval_store),
+                     "--emit-scenario", str(scenario_file)]) == 0
+        eval_out = capsys.readouterr().out
+        assert "Average KPA" in eval_out
+
+        serial_store = tmp_path / "serial_store"
+        assert main(["run", str(scenario_file), "--store",
+                     str(serial_store), "-q"]) == 0
+        parallel_store = tmp_path / "parallel_store"
+        assert main(["run", str(scenario_file), "--store",
+                     str(parallel_store), "--jobs", "2", "-q"]) == 0
+        capsys.readouterr()
+
+        reference = self._records(eval_store)
+        assert reference, "evaluate must write job records"
+        assert self._records(serial_store) == reference
+        assert self._records(parallel_store) == reference
+
+    def test_rerun_executes_zero_jobs(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        scenario_file = tmp_path / "scenario.json"
+        assert main(["evaluate", *self.EVAL_ARGS,
+                     "--emit-scenario", str(scenario_file)]) == 0
+        capsys.readouterr()
+        assert main(["run", str(scenario_file), "--store", str(store),
+                     "-q"]) == 0
+        first = capsys.readouterr().out
+        assert "2 executed, 0 skipped" in first
+        assert main(["run", str(scenario_file), "--store", str(store),
+                     "-q"]) == 0
+        second = capsys.readouterr().out
+        assert "0 executed, 2 skipped" in second
+        manifest = json.loads((store / "manifest.json").read_text())
+        assert manifest["total_records"] == 2
+
+    def test_run_smoke_scenario_with_metrics(self, tmp_path, capsys):
+        from pathlib import Path
+
+        smoke = Path(__file__).resolve().parents[2] / "examples" / \
+            "scenario_smoke.json"
+        store = tmp_path / "smoke_store"
+        assert main(["run", str(smoke), "--store", str(store),
+                     "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Average KPA" in out
+        assert "Metrics recorded: avalanche, corruption" in out
+        assert (store / "manifest.json").exists()
+
+    def test_run_rejects_invalid_scenario(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"name": "x", "benchmarks": ["SASC"], '
+                       '"lockers": ["warlock"], "attacks": ["snapshot"]}')
+        assert main(["run", str(bad)]) == 1
+        assert "unknown locking algorithm" in capsys.readouterr().err
+
+    def test_run_rejects_missing_file(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path / "absent.json")]) == 1
+        assert "does not exist" in capsys.readouterr().err
+
+
 class TestSimBench:
     def test_suite_reports_engines_and_sweeps(self, capsys):
         code = main(["sim-bench", "--vectors", "16", "--keys", "8",
@@ -153,6 +274,14 @@ class TestSimBench:
         for entry in payload["key_sweeps"]:
             assert entry["outputs_match"] is True
             assert {"cse_steps", "pruned_steps"} <= set(entry)
+
+    def test_avalanche_flag_reports_sensitivity(self, capsys):
+        code = main(["sim-bench", "--vectors", "8", "--keys", "4",
+                     "--scale", "0.1", "--repeats", "1", "--avalanche"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Avalanche sensitivity" in out
+        assert "probed input" in out
 
     def test_single_design_sweep_needs_key_metadata(self, design_file,
                                                     tmp_path, capsys):

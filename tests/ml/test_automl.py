@@ -95,3 +95,41 @@ class TestDefaultRoster:
                     "linear": any("logistic" in n for n in names),
                     "mlp": any("mlp" in n for n in names)}
         assert all(families.values())
+
+
+class TestDeterministicMode:
+    def test_budget_maps_to_candidate_count(self, categorical_dataset):
+        features, labels = categorical_dataset
+        model = AutoMLClassifier(time_budget=3.0, random_state=0,
+                                 deterministic=True)
+        model.fit(features, labels)
+        # Exactly the first three roster candidates were evaluated — no
+        # wall-clock truncation, no machine dependence.
+        assert len(model.leaderboard_) == 3
+        roster_names = [spec.name for spec in default_candidates(0)[:3]]
+        assert sorted(r.spec.name for r in model.leaderboard_) == \
+            sorted(roster_names)
+
+    def test_tiny_budget_still_evaluates_one_candidate(self, categorical_dataset):
+        features, labels = categorical_dataset
+        model = AutoMLClassifier(time_budget=1e-3, random_state=0,
+                                 deterministic=True)
+        model.fit(features, labels)
+        assert len(model.leaderboard_) == 1
+
+    def test_respects_max_candidates_cap(self, categorical_dataset):
+        features, labels = categorical_dataset
+        model = AutoMLClassifier(time_budget=10.0, max_candidates=2,
+                                 random_state=0, deterministic=True)
+        model.fit(features, labels)
+        assert len(model.leaderboard_) == 2
+
+    def test_repeated_fits_pick_the_same_winner(self, categorical_dataset):
+        features, labels = categorical_dataset
+        winners = set()
+        for _ in range(3):
+            model = AutoMLClassifier(time_budget=4.0, random_state=3,
+                                     deterministic=True)
+            model.fit(features, labels)
+            winners.add(model.best_model_name)
+        assert len(winners) == 1

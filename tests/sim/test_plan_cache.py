@@ -85,6 +85,75 @@ class TestFingerprint:
         assert design.fingerprint() != locked_first
 
 
+class TestTouch:
+    SOURCE = """
+    module editable (input [3:0] a, input [3:0] b, output [3:0] y);
+      assign y = a + b;
+    endmodule
+    """
+
+    def _design_and_op_node(self):
+        from repro.verilog import ast_nodes as ast
+
+        design = Design.from_verilog(self.SOURCE)
+        (item,) = [i for i in design.top.items
+                   if isinstance(i, ast.ContinuousAssign)]
+        assert isinstance(item.rhs, ast.BinaryOp)
+        return design, item.rhs
+
+    def test_touch_invalidates_after_direct_ast_edit(self):
+        design, node = self._design_and_op_node()
+        before = design.fingerprint()
+        node.op = "-"
+        # Direct surgery leaves the cheap mutation token unchanged...
+        assert design.fingerprint() == before
+        # ...until the design is touched.
+        assert design.touch() is design
+        assert design.fingerprint() != before
+
+    def test_stale_plan_cannot_be_served_after_touch(self):
+        from repro.sim import cached_simulator
+
+        design, node = self._design_and_op_node()
+        plus = cached_simulator(design).run({"a": 7, "b": 2})
+        assert plus["y"] == 9
+
+        node.op = "-"
+        design.touch()
+        minus = cached_simulator(design).run({"a": 7, "b": 2})
+        assert minus["y"] == 5, "stale '+' plan must not be served"
+        # The scalar oracle agrees with the freshly compiled plan.
+        from repro.sim import CombinationalSimulator
+        assert CombinationalSimulator(design).run({"a": 7, "b": 2})["y"] == 5
+
+    def test_touch_is_idempotent_on_unmutated_designs(self):
+        design, _ = self._design_and_op_node()
+        before = design.fingerprint()
+        assert design.touch().fingerprint() == before
+        assert get_plan(design) is get_plan(design.touch())
+
+
+class TestWarmPlanCache:
+    def test_warming_precompiles(self):
+        from repro.sim import warm_plan_cache
+
+        design = _locked_md5()
+        assert warm_plan_cache(design) is True
+        misses = plan_cache_info().misses
+        get_plan(design)
+        assert plan_cache_info().misses == misses, "warmed plan must hit"
+
+    def test_warming_never_raises_on_uncompilable_designs(self):
+        from repro.sim import warm_plan_cache
+
+        design = Design.from_verilog("""
+        module dynrep (input [3:0] a, input [1:0] n, output [7:0] y);
+          assign y = {n{a}};
+        endmodule
+        """)
+        assert warm_plan_cache(design) is False
+
+
 class TestPlanCache:
     def test_second_lookup_hits(self):
         design = _locked_md5()

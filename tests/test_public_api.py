@@ -6,7 +6,8 @@ import pytest
 
 import repro
 
-SUBPACKAGES = ["verilog", "rtlir", "locking", "ml", "attacks", "bench", "eval"]
+SUBPACKAGES = ["verilog", "rtlir", "locking", "ml", "attacks", "bench",
+               "eval", "api"]
 
 
 class TestPublicApi:
@@ -40,7 +41,17 @@ class TestPublicApi:
     def test_cli_parser_builds(self):
         from repro.cli import build_parser
         parser = build_parser()
-        commands = {"analyze", "lock", "attack", "bench", "evaluate"}
+        commands = {"analyze", "lock", "attack", "bench", "evaluate", "run"}
         help_text = parser.format_help()
         for command in commands:
             assert command in help_text
+
+    def test_api_facade_reachable(self):
+        from repro.api import (Runner, ResultsStore, Scenario,
+                               register_attack, register_locker,
+                               register_metric)
+
+        for obj in (Runner, ResultsStore, Scenario):
+            assert isinstance(obj, type)
+        for decorator in (register_attack, register_locker, register_metric):
+            assert callable(decorator)
