@@ -9,14 +9,18 @@ This package is the one import surface a workload author needs:
   ``eval/``.
 * **Scenarios** (:mod:`repro.api.scenario`) — the declarative
   :class:`Scenario` dataclass tree (benchmarks × lockers × attacks ×
-  metrics × samples) with validated JSON round-trips and deterministic
-  expansion into :class:`JobSpec` jobs.
+  metrics × samples) with validated JSON round-trips, **matrix axes**
+  (``seeds`` / ``key_budget_fractions`` / ``time_budgets`` sweeps) and
+  deterministic expansion into :class:`JobSpec` jobs.
 * **Runner** (:mod:`repro.api.runner`) — executes a scenario serially or on
-  a plan-cache-aware process pool, with ``progress`` callbacks and
+  a plan-cache-aware process pool with **cost-aware largest-first
+  dispatch** (:func:`schedule_chunks`), ``progress`` callbacks and
   bit-identical results either way.
 * **Results store** (:mod:`repro.api.store`) — one JSON record per job plus
-  an aggregate manifest; re-runs against an existing store skip completed
-  jobs, and the figure/table builders read from it.
+  an aggregate manifest pairing measured wall time with the scheduler's
+  cost estimates; re-runs against an existing store skip completed jobs,
+  and the figure/table builders — including ``repro-lock report`` — read
+  from it without re-simulating.
 
 Minimal usage::
 
@@ -77,6 +81,7 @@ __all__ = [
     "Runner",
     "RunReport",
     "execute_job",
+    "schedule_chunks",
     "ResultsStore",
     "StoreError",
 ]
@@ -96,6 +101,7 @@ _LAZY = {
     "Runner": "runner",
     "RunReport": "runner",
     "execute_job": "runner",
+    "schedule_chunks": "runner",
     "ResultsStore": "store",
     "StoreError": "store",
 }

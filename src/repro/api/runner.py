@@ -14,6 +14,15 @@ metrics, avalanche studies — compile every distinct netlist once per worker
 instead of once per call.  Base benchmark designs are generated once per
 process and shared read-only across jobs (lockers copy before mutating).
 
+Parallel dispatch is additionally *cost-aware*: :func:`schedule_chunks`
+estimates every pending job's cost (design gate count × rounds × budget, see
+:meth:`JobSpec.estimated_cost <repro.api.scenario.JobSpec.estimated_cost>`)
+and submits benchmark-affine chunks largest-first, so the expensive cells of
+a scenario matrix start immediately and the cheap ones backfill the pool's
+tail.  Each record carries its measured ``elapsed_seconds`` and the store
+manifest pairs it with the estimate, so the cost model can be validated from
+any finished run (``repro.cli report`` prints the comparison).
+
 Every job derives its random streams from ``(seed, benchmark, locker,
 sample)`` alone (see :class:`~repro.api.scenario.JobSpec`), so serial and
 parallel executions of the same scenario produce bit-identical records.
@@ -131,6 +140,11 @@ def execute_job(job: JobSpec, pair_table=None) -> Dict:
         "num_operations": num_operations,
         "key_width": locked.design.key_width,
     }
+    if job.axes:
+        # Swept jobs carry their matrix-axis point so sweep tables can be
+        # rendered from records alone; single-value jobs keep the exact
+        # record shape of the pre-axes store format.
+        record["axes"] = dict(job.axes)
 
     if job.kind == "attack":
         assert job.attack is not None
@@ -169,6 +183,53 @@ def execute_job(job: JobSpec, pair_table=None) -> Dict:
 
     record["elapsed_seconds"] = round(time.perf_counter() - started, 6)
     return record
+
+
+def schedule_chunks(todo: Sequence[Tuple[int, JobSpec]],
+                    workers: int) -> List[List[int]]:
+    """Group pending jobs into cost-ordered dispatch chunks (largest first).
+
+    Scheduling balances two goals:
+
+    * **cache affinity** — jobs group by benchmark so one worker's
+      per-process base-design and plan caches serve all samples of the
+      designs it attacks; each group splits into at most ``workers`` chunks
+      so small scenarios still use every worker;
+    * **pool utilisation** — jobs within a group sort by
+      :meth:`JobSpec.estimated_cost <repro.api.scenario.JobSpec.estimated_cost>`
+      (largest first) and the chunks are dispatched in descending total-cost
+      order, the classic longest-processing-time heuristic: the expensive
+      work starts immediately and the cheap chunks backfill the pool's tail
+      instead of straggling at the end.
+
+    Within a benchmark group the jobs are dealt greedily onto up to
+    ``workers`` chunks, always to the least-loaded one (so the chunk totals
+    come out balanced — a contiguous split would concentrate all the
+    expensive sweep points of a matrix into one straggler chunk).  Ties
+    break on job index, so the dispatch order is deterministic; job
+    *records* are order-independent either way (every job is self-seeded).
+
+    Returns:
+        Chunks of indices into the expanded job list, in dispatch order.
+    """
+    groups: Dict[str, List[int]] = {}
+    costs: Dict[int, float] = {}
+    for index, job in todo:
+        groups.setdefault(job.benchmark, []).append(index)
+        costs[index] = job.estimated_cost()
+    chunks: List[List[int]] = []
+    for indices in groups.values():
+        indices.sort(key=lambda i: (-costs[i], i))
+        n_chunks = min(workers, len(indices))
+        buckets: List[List[int]] = [[] for _ in range(n_chunks)]
+        loads = [0.0] * n_chunks
+        for index in indices:
+            slot = min(range(n_chunks), key=lambda b: (loads[b], b))
+            buckets[slot].append(index)
+            loads[slot] += costs[index]
+        chunks.extend(buckets)
+    chunks.sort(key=lambda chunk: (-sum(costs[i] for i in chunk), chunk[0]))
+    return chunks
 
 
 def _run_job_group(scenario_dict: Dict, indices: Sequence[int],
@@ -354,12 +415,12 @@ class Runner:
 
     def _run_pool(self, report: RunReport, jobs: List[JobSpec],
                   todo: List[Tuple[int, JobSpec]]) -> None:
-        """Execute ``todo`` on a process pool, grouped by benchmark.
+        """Execute ``todo`` on a process pool, cost-aware and largest-first.
 
-        Groups keep one benchmark's jobs on one worker whenever the group
-        count allows, so each worker's per-process base-design and plan
-        caches serve all samples of the designs it attacks; records are
-        committed in the parent as groups finish.
+        Dispatch order comes from :func:`schedule_chunks`: benchmark-grouped
+        chunks (worker cache affinity) submitted in descending estimated-cost
+        order (pool utilisation); records are committed in the parent as
+        groups finish.
 
         Raises:
             JobExecutionError: after the pool drains, when any job failed —
@@ -367,16 +428,7 @@ class Runner:
                 re-executes only the failures.
         """
         scenario_dict = self.scenario.to_dict()
-        groups: Dict[str, List[int]] = {}
-        for index, job in todo:
-            groups.setdefault(job.benchmark, []).append(index)
-        # Split benchmark groups into at most `jobs` roughly equal chunks
-        # each, so small scenarios still use every worker.
-        chunks: List[List[int]] = []
-        for indices in groups.values():
-            per_chunk = max(1, -(-len(indices) // self.jobs))
-            for start in range(0, len(indices), per_chunk):
-                chunks.append(indices[start:start + per_chunk])
+        chunks = schedule_chunks(todo, self.jobs)
 
         done = report.skipped
         by_index = {index: job for index, job in todo}

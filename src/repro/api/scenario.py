@@ -12,13 +12,28 @@ Seed derivation is *identical* to the historical
 :class:`~repro.eval.experiment.SnapShotExperiment` pipeline: a scenario with
 one ``snapshot`` attack reproduces the Fig. 6 evaluation bit for bit at the
 same master seed, serially or across a process pool.
+
+Beyond the base cross product, three **matrix axes** turn one scenario into a
+parameter sweep without any code:
+
+* ``seeds: [0, 1, 2]`` on the scenario — seed-robustness studies,
+* ``key_budget_fractions: [0.25, 0.5, 0.75]`` on a :class:`LockerSpec` —
+  key-size sweeps,
+* ``time_budgets: [1.0, 4.0, 16.0]`` on an :class:`AttackSpec` — attack
+  budget-scaling sweeps.
+
+Each axis value expands into its own concrete single-value :class:`JobSpec`;
+swept jobs carry ``axes`` tags that suffix the ``job_id`` (``__seed1``,
+``__kb0.5``, ``__tb4``) so records of different axis points never collide in
+a results store.  A scenario with *no* axis fields expands exactly as before
+the axes existed — same job ids, same seeds, same records.
 """
 
 from __future__ import annotations
 
 import json
 import zlib
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -74,6 +89,33 @@ def _check_options(options: Mapping, reserved: Sequence[str],
              f"runner sets itself: {', '.join(sorted(clash))}")
 
 
+def _check_axis(values: Sequence, what: str) -> None:
+    _require(len(set(values)) == len(values),
+             f"duplicate values in {what} axis: {list(values)}")
+    # Two values that render to the same job-id tag would silently collapse
+    # into one store record, so the *formatted* tags must be unique too.
+    tags = [format_axis_value(value) for value in values]
+    _require(len(set(tags)) == len(tags),
+             f"values in {what} axis are distinct but render to the same "
+             f"job-id tag: {list(values)} -> {tags}; use values that differ "
+             f"within 6 significant digits")
+
+
+#: ``axes``-tag → ``job_id`` suffix abbreviation for swept jobs.
+AXIS_TAGS = {"seed": "seed", "key_budget_fraction": "kb", "time_budget": "tb"}
+
+
+def format_axis_value(value: object) -> str:
+    """Render one axis value for a ``job_id`` suffix (stable across platforms).
+
+    Floats use ``%g`` so ``0.5`` and ``4.0`` render as ``0.5`` and ``4`` on
+    every platform; everything else renders with ``str``.
+    """
+    if isinstance(value, float):
+        return format(value, "g")
+    return str(value)
+
+
 @dataclass(frozen=True)
 class LockerSpec:
     """One locking algorithm of a scenario.
@@ -83,32 +125,47 @@ class LockerSpec:
         key_budget_fraction: Key budget as a fraction of lockable operations
             (the paper's 75 % default).  The ``N_2046`` + ``era`` special
             case of Section 5 is applied automatically at job level.
+        key_budget_fractions: Optional *key-size sweep axis*.  When non-empty
+            it replaces ``key_budget_fraction``: every value expands into its
+            own job (same locking stream, different budget — a controlled
+            key-size comparison) tagged ``kb<value>`` in the ``job_id``.
         options: Extra factory keyword arguments (free-form, JSON-valued).
     """
 
     algorithm: str
     key_budget_fraction: float = 0.75
     options: Dict[str, object] = field(default_factory=dict)
+    key_budget_fractions: Tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
         _require(bool(self.algorithm), "locker algorithm name is required")
-        _require(0.0 < self.key_budget_fraction <= 1.0,
-                 f"key_budget_fraction must be in (0, 1], "
-                 f"got {self.key_budget_fraction}")
+        for fraction in (self.key_budget_fraction,) + tuple(
+                self.key_budget_fractions):
+            _require(0.0 < fraction <= 1.0,
+                     f"key_budget_fraction must be in (0, 1], "
+                     f"got {fraction}")
+        _check_axis(self.key_budget_fractions, "key_budget_fractions")
         _check_options(self.options, ("rng", "pair_table"), "locker")
+
+    def fraction_axis(self) -> Tuple[float, ...]:
+        """The swept key-budget fractions, or the single configured value."""
+        return self.key_budget_fractions or (self.key_budget_fraction,)
 
     @classmethod
     def from_dict(cls, data: Union[str, Mapping]) -> "LockerSpec":
         """Build from a mapping (or a bare algorithm-name string)."""
         if isinstance(data, str):
             return cls(algorithm=data)
-        _check_keys(data, ("algorithm", "key_budget_fraction", "options"),
-                    "locker")
+        _check_keys(data, ("algorithm", "key_budget_fraction",
+                           "key_budget_fractions", "options"), "locker")
         _require("algorithm" in data, "locker needs an 'algorithm' field")
         return cls(algorithm=data["algorithm"],
                    key_budget_fraction=float(
                        data.get("key_budget_fraction", 0.75)),
-                   options=dict(data.get("options", {})))
+                   options=dict(data.get("options", {})),
+                   key_budget_fractions=tuple(
+                       float(value)
+                       for value in data.get("key_budget_fractions", ())))
 
 
 @dataclass(frozen=True)
@@ -124,6 +181,11 @@ class AttackSpec:
             are bit-identical across serial and parallel execution; pass
             ``options={"deterministic": false}`` for the historical
             wall-clock behaviour.
+        time_budgets: Optional *budget sweep axis*.  When non-empty it
+            replaces ``time_budget``: every value expands into its own job
+            (same attack stream, different search budget — a controlled
+            budget-scaling comparison) tagged ``tb<value>`` in the
+            ``job_id``.
         feature_set: Locality feature set (``pair``/``extended``/``behavioral``).
         functional_vectors: Vectors for functional-KPA validation (0 = off).
         options: Extra factory keyword arguments (free-form, JSON-valued).
@@ -135,30 +197,41 @@ class AttackSpec:
     feature_set: str = "pair"
     functional_vectors: int = 0
     options: Dict[str, object] = field(default_factory=dict)
+    time_budgets: Tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
         _require(bool(self.name), "attack name is required")
         _require(self.rounds >= 1, "attack rounds must be positive")
-        _require(self.time_budget > 0, "attack time_budget must be positive")
+        for budget in (self.time_budget,) + tuple(self.time_budgets):
+            _require(budget > 0, "attack time_budget must be positive")
+        _check_axis(self.time_budgets, "time_budgets")
         _require(self.functional_vectors >= 0,
                  "functional_vectors must be non-negative")
         _check_options(self.options,
                        ("rng", "pair_table", "rounds", "time_budget",
                         "feature_set", "functional_vectors"), "attack")
 
+    def budget_axis(self) -> Tuple[float, ...]:
+        """The swept time budgets, or the single configured value."""
+        return self.time_budgets or (self.time_budget,)
+
     @classmethod
     def from_dict(cls, data: Union[str, Mapping]) -> "AttackSpec":
         """Build from a mapping (or a bare attack-name string)."""
         if isinstance(data, str):
             return cls(name=data)
-        _check_keys(data, ("name", "rounds", "time_budget", "feature_set",
-                           "functional_vectors", "options"), "attack")
+        _check_keys(data, ("name", "rounds", "time_budget", "time_budgets",
+                           "feature_set", "functional_vectors", "options"),
+                    "attack")
         return cls(name=data.get("name", "snapshot"),
                    rounds=int(data.get("rounds", 50)),
                    time_budget=float(data.get("time_budget", 10.0)),
                    feature_set=str(data.get("feature_set", "pair")),
                    functional_vectors=int(data.get("functional_vectors", 0)),
-                   options=dict(data.get("options", {})))
+                   options=dict(data.get("options", {})),
+                   time_budgets=tuple(float(value)
+                                      for value in data.get("time_budgets",
+                                                            ())))
 
 
 @dataclass(frozen=True)
@@ -196,6 +269,12 @@ class JobSpec:
     evaluate a registered metric on it.  Every job derives its random streams
     from ``(seed, benchmark, locker, sample)`` alone, so jobs execute in any
     order — or in different processes — with identical results.
+
+    ``axes`` carries the matrix-axis tags of a swept job as ordered
+    ``(axis_name, value)`` pairs (e.g. ``(("seed", 1),
+    ("key_budget_fraction", 0.5))``); each tag suffixes the ``job_id`` so
+    records of different axis points never collide.  Jobs of a scenario
+    without matrix axes have an empty ``axes`` and the historical ``job_id``.
     """
 
     kind: str
@@ -208,6 +287,7 @@ class JobSpec:
     attack_index: int = 0
     metric: Optional[MetricSpec] = None
     metric_index: int = 0
+    axes: Tuple[Tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
         _require(self.kind in ("attack", "metric"),
@@ -216,18 +296,61 @@ class JobSpec:
             _require(self.attack is not None, "attack job needs an attack")
         else:
             _require(self.metric is not None, "metric job needs a metric")
+        for axis, _ in self.axes:
+            _require(axis in AXIS_TAGS,
+                     f"unknown job axis {axis!r}; known: "
+                     f"{', '.join(sorted(AXIS_TAGS))}")
 
     @property
     def job_id(self) -> str:
-        """Stable identifier (and results-store record name) of the job."""
+        """Stable identifier (and results-store record name) of the job.
+
+        Swept jobs append one ``__<tag><value>`` segment per matrix axis
+        (``__seed1``, ``__kb0.5``, ``__tb4``); single-value jobs keep the
+        historical five-segment id.
+        """
         if self.kind == "attack":
             assert self.attack is not None
             target = self.attack.name
         else:
             assert self.metric is not None
             target = self.metric.name
+        suffix = "".join(f"__{AXIS_TAGS[axis]}{format_axis_value(value)}"
+                         for axis, value in self.axes)
         return (f"{self.kind}__{self.benchmark}__{self.locker.algorithm}"
-                f"__{target}__s{self.sample}")
+                f"__{target}__s{self.sample}{suffix}")
+
+    def estimated_cost(self) -> float:
+        """Relative cost estimate used for largest-first pool scheduling.
+
+        The model is *design gate count × work volume*: the scaled
+        benchmark's operation count times, for attack jobs, ``rounds ×
+        time_budget`` (relocking dominates, the auto-ML search scales with
+        its budget) plus the functional-validation vectors, and for metric
+        jobs the metric's ``vectors`` option.  Units are arbitrary — only
+        the *ordering* of estimates matters to the scheduler; the store
+        manifest records the estimate next to the measured wall time so the
+        model can be validated (``repro.cli report`` prints both).
+        """
+        from ..bench import get_profile
+
+        try:
+            gates = get_profile(self.benchmark).scaled(self.scale) \
+                .total_operations
+        except KeyError:
+            gates = 1
+        gates = max(1, gates)
+        if self.kind == "attack":
+            assert self.attack is not None
+            return float(gates * (self.attack.rounds * self.attack.time_budget
+                                  + self.attack.functional_vectors))
+        assert self.metric is not None
+        vectors = self.metric.options.get("vectors", 32)
+        try:
+            volume = max(1.0, float(vectors))
+        except (TypeError, ValueError):
+            volume = 32.0
+        return float(gates * volume)
 
     @property
     def cell_seed(self) -> int:
@@ -271,6 +394,10 @@ class Scenario:
             ``n_test_lockings``.
         scale: Benchmark scale factor (1.0 = full size).
         seed: Master seed; every job derives its own streams from it.
+        seeds: Optional *seed sweep axis*.  When non-empty it replaces
+            ``seed``: the whole workload repeats once per listed seed
+            (seed-robustness studies), each repetition tagged ``seed<value>``
+            in the ``job_id``.
     """
 
     name: str = "scenario"
@@ -281,6 +408,7 @@ class Scenario:
     samples: int = 10
     scale: float = 1.0
     seed: int = 0
+    seeds: Tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         _require(bool(self.name), "scenario name is required")
@@ -290,6 +418,31 @@ class Scenario:
         _require(bool(self.lockers), "scenario needs at least one locker")
         _require(bool(self.attacks) or bool(self.metrics),
                  "scenario needs at least one attack or metric")
+        _check_axis(self.seeds, "seeds")
+
+    def seed_axis(self) -> Tuple[int, ...]:
+        """The swept seeds, or the single configured master seed."""
+        return self.seeds or (self.seed,)
+
+    def axis_values(self) -> Dict[str, List]:
+        """``{axis_name: values}`` of every matrix axis the scenario sweeps.
+
+        Only *swept* axes appear (an axis with a single configured value is
+        not a sweep); the values keep their declaration order.  Key-budget
+        and time-budget axes merge the values of every locker/attack that
+        sweeps them.
+        """
+        axes: Dict[str, List] = {}
+        if self.seeds:
+            axes["seed"] = list(self.seeds)
+        fractions = [f for locker in self.lockers
+                     for f in locker.key_budget_fractions]
+        if fractions:
+            axes["key_budget_fraction"] = list(dict.fromkeys(fractions))
+        budgets = [b for attack in self.attacks for b in attack.time_budgets]
+        if budgets:
+            axes["time_budget"] = list(dict.fromkeys(budgets))
+        return axes
 
     # ------------------------------------------------------------- validation
 
@@ -345,8 +498,20 @@ class Scenario:
 
         The form is JSON-canonical (lists, not tuples), so a dict that went
         through ``json.dumps``/``json.loads`` compares equal to a fresh one.
+        Empty matrix-axis fields (``seeds``, ``key_budget_fractions``,
+        ``time_budgets``) are omitted, so the dict — and therefore the
+        :meth:`fingerprint` and every store stamp — of a scenario without
+        axes is identical to what it was before the axes existed.
         """
-        return json.loads(json.dumps(asdict(self)))
+        data = json.loads(json.dumps(asdict(self)))
+        if not data.get("seeds"):
+            data.pop("seeds", None)
+        for component_key, axis_key in (("lockers", "key_budget_fractions"),
+                                        ("attacks", "time_budgets")):
+            for entry in data.get(component_key, ()):
+                if not entry.get(axis_key):
+                    entry.pop(axis_key, None)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping, validate: bool = True) -> "Scenario":
@@ -362,7 +527,8 @@ class Scenario:
                 ``validate``) unknown component names.
         """
         _check_keys(data, ("name", "benchmarks", "lockers", "attacks",
-                           "metrics", "samples", "scale", "seed"), "scenario")
+                           "metrics", "samples", "scale", "seed", "seeds"),
+                    "scenario")
         scenario = cls(
             name=str(data.get("name", "scenario")),
             benchmarks=tuple(data.get("benchmarks", ())),
@@ -375,6 +541,7 @@ class Scenario:
             samples=int(data.get("samples", 10)),
             scale=float(data.get("scale", 1.0)),
             seed=int(data.get("seed", 0)),
+            seeds=tuple(int(value) for value in data.get("seeds", ())),
         )
         if validate:
             scenario.validate()
@@ -418,24 +585,68 @@ class Scenario:
     def expand(self) -> List[JobSpec]:
         """Expand into the flat, ordered job list (the scenario's run plan).
 
-        Jobs are ordered benchmark-major, then locker, then sample, then
-        attacks before metrics — the exact cell order of the historical
-        experiment loop, so serial runs and progress reporting match it.
+        Jobs are ordered benchmark-major, then locker, then locker
+        key-budget axis, then seed axis, then sample, then attacks (budget
+        axis innermost) before metrics — for a scenario without matrix axes
+        the axis loops collapse to singletons and the order is the exact
+        cell order of the historical experiment loop, so serial runs and
+        progress reporting match it.  The expansion is a pure function of
+        the scenario (declaration order, no hashing or platform-dependent
+        iteration), so the run plan is stable across platforms and
+        processes.
         """
         jobs: List[JobSpec] = []
         for benchmark in self.benchmarks:
             for locker in self.lockers:
-                for sample in range(self.samples):
-                    for attack_index, attack in enumerate(self.attacks):
-                        jobs.append(JobSpec(
-                            kind="attack", benchmark=benchmark, locker=locker,
-                            sample=sample, seed=self.seed, scale=self.scale,
-                            attack=attack, attack_index=attack_index))
-                    for metric_index, metric in enumerate(self.metrics):
-                        jobs.append(JobSpec(
-                            kind="metric", benchmark=benchmark, locker=locker,
-                            sample=sample, seed=self.seed, scale=self.scale,
-                            metric=metric, metric_index=metric_index))
+                for fraction in locker.fraction_axis():
+                    if locker.key_budget_fractions:
+                        point_locker = replace(locker,
+                                               key_budget_fraction=fraction,
+                                               key_budget_fractions=())
+                        locker_axes: Tuple[Tuple[str, object], ...] = (
+                            ("key_budget_fraction", fraction),)
+                    else:
+                        point_locker, locker_axes = locker, ()
+                    for seed in self.seed_axis():
+                        seed_axes: Tuple[Tuple[str, object], ...] = (
+                            (("seed", seed),) if self.seeds else ())
+                        base_axes = seed_axes + locker_axes
+                        for sample in range(self.samples):
+                            jobs.extend(self._expand_cell(
+                                benchmark, point_locker, seed, sample,
+                                base_axes))
+        return jobs
+
+    def _expand_cell(self, benchmark: str, locker: LockerSpec, seed: int,
+                     sample: int,
+                     base_axes: Tuple[Tuple[str, object], ...],
+                     ) -> List[JobSpec]:
+        """Jobs of one (benchmark, locker, seed, sample) cell of the matrix.
+
+        Budget-swept attacks keep their declared ``attack_index`` for every
+        budget point, so all points of one sweep share the attack's random
+        stream and differ *only* in the search budget — a controlled
+        comparison.
+        """
+        jobs: List[JobSpec] = []
+        for attack_index, attack in enumerate(self.attacks):
+            for budget in attack.budget_axis():
+                if attack.time_budgets:
+                    point_attack = replace(attack, time_budget=budget,
+                                           time_budgets=())
+                    axes = base_axes + (("time_budget", budget),)
+                else:
+                    point_attack, axes = attack, base_axes
+                jobs.append(JobSpec(
+                    kind="attack", benchmark=benchmark, locker=locker,
+                    sample=sample, seed=seed, scale=self.scale,
+                    attack=point_attack, attack_index=attack_index,
+                    axes=axes))
+        for metric_index, metric in enumerate(self.metrics):
+            jobs.append(JobSpec(
+                kind="metric", benchmark=benchmark, locker=locker,
+                sample=sample, seed=seed, scale=self.scale,
+                metric=metric, metric_index=metric_index, axes=base_axes))
         return jobs
 
     # ------------------------------------------------------------ conversions

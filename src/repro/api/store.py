@@ -10,7 +10,14 @@ consumable by downstream tooling without keeping anything in memory:
 A second run of the same scenario against an existing store skips every job
 whose record is already present (zero jobs executed on a complete store).
 The figure/table builders in :mod:`repro.eval` read aggregated KPA data
-straight from a store via :meth:`ResultsStore.kpa_samples`.
+straight from a store via :meth:`ResultsStore.kpa_samples`, and
+``repro.cli report <store>`` renders the full report — figures, per-axis
+sweep tables, timing-vs-estimate validation — without re-running anything.
+
+The manifest pairs every record's measured wall time with the scheduler's
+``estimated_cost`` and carries the expanded ``total_jobs`` count, so a store
+also answers "is this run complete?" (:meth:`ResultsStore.completion`) and
+"was the cost model any good?".
 """
 
 from __future__ import annotations
@@ -97,11 +104,18 @@ class ResultsStore:
             ) from exc
 
     def write_scenario_stamp(self, scenario: Scenario) -> Path:
-        """Bind this store to ``scenario`` (called before jobs execute)."""
+        """Bind this store to ``scenario`` (called before jobs execute).
+
+        Written atomically: the stamp is rewritten at the start of every
+        run (including resumes), and a kill mid-write must not corrupt the
+        identity of a store full of valid records.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
-        self.scenario_stamp_path.write_text(json.dumps(
+        tmp = self.scenario_stamp_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(
             {"fingerprint": scenario.fingerprint(),
              "scenario": scenario.to_dict()}, indent=2) + "\n")
+        tmp.replace(self.scenario_stamp_path)
         return self.scenario_stamp_path
 
     def clear_records(self) -> None:
@@ -160,17 +174,30 @@ class ResultsStore:
 
     def write_manifest(self, scenario: Scenario,
                        executed: int, skipped: int) -> Path:
-        """Write the aggregate manifest for a (finished) run."""
+        """Write the aggregate manifest for a (finished or interrupted) run.
+
+        Each job summary pairs the measured ``elapsed_seconds`` of the
+        record with the scheduler's ``estimated_cost`` for the same job, so
+        a finished store doubles as validation data for the cost model
+        (``repro.cli report`` renders the comparison).  ``total_jobs`` is
+        the expanded size of the scenario; a store with fewer records than
+        that is a *partial* run (interrupted or still filling).
+        """
         self.root.mkdir(parents=True, exist_ok=True)
+        expanded = {job.job_id: job for job in scenario.expand()}
         summaries = []
         for job_id in self.job_ids():
             record = self.load(job_id)
+            job = expanded.get(job_id)
             summaries.append({
                 "job_id": job_id,
                 "kind": record.get("kind"),
                 "benchmark": record.get("benchmark"),
                 "locker": record.get("locker"),
+                "sample": record.get("sample"),
                 "elapsed_seconds": record.get("elapsed_seconds"),
+                "estimated_cost": (job.estimated_cost()
+                                   if job is not None else None),
             })
         manifest = {
             "version": MANIFEST_VERSION,
@@ -178,25 +205,82 @@ class ResultsStore:
             "scenario_fingerprint": scenario.fingerprint(),
             "executed": executed,
             "skipped": skipped,
+            "total_jobs": len(expanded),
             "total_records": len(summaries),
             "jobs": summaries,
         }
-        self.manifest_path.write_text(json.dumps(manifest, indent=2) + "\n")
+        # Atomic like save(): the manifest is (re)written from the runner's
+        # finally block, where a second interrupt must not leave a truncated
+        # file behind.
+        tmp = self.manifest_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(manifest, indent=2) + "\n")
+        tmp.replace(self.manifest_path)
         return self.manifest_path
 
     def manifest(self) -> Dict:
         """Read the manifest.
 
         Raises:
-            StoreError: when no manifest has been written yet.
+            StoreError: when no manifest has been written yet, or the file
+                is not valid JSON (e.g. a truncated write).
         """
         if not self.manifest_path.exists():
             raise StoreError(f"no manifest in {self.root}")
-        return json.loads(self.manifest_path.read_text())
+        try:
+            return json.loads(self.manifest_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise StoreError(
+                f"corrupt manifest {self.manifest_path}: {exc}") from exc
 
     def scenario(self) -> Scenario:
         """The scenario recorded in the manifest (validated)."""
         return Scenario.from_dict(self.manifest()["scenario"])
+
+    def stamped_scenario(self) -> Optional[Scenario]:
+        """The scenario from the *stamp* file, or ``None`` if never stamped.
+
+        The stamp is written before any job executes, so it exists even for
+        interrupted runs that never reached the manifest — the fallback
+        ``repro.cli report`` uses to describe a partial store.  The scenario
+        is not registry-validated: a store must stay reportable even when
+        the components that produced it are not importable here.
+        """
+        if not self.scenario_stamp_path.exists():
+            return None
+        try:
+            data = json.loads(self.scenario_stamp_path.read_text())
+            return Scenario.from_dict(data["scenario"], validate=False)
+        except (json.JSONDecodeError, KeyError, ValueError) as exc:
+            raise StoreError(
+                f"corrupt scenario stamp {self.scenario_stamp_path}: {exc}"
+            ) from exc
+
+    def completion(self) -> Optional[Dict]:
+        """``{"records", "total", "complete"}`` state of the store, if known.
+
+        The expected total comes from the manifest's ``total_jobs`` (or, for
+        manifest-less stores, by expanding the stamped scenario); ``None``
+        when neither source exists — record counting is still possible via
+        :meth:`job_ids` in that case.
+        """
+        records = len(self.job_ids())
+        total: Optional[int] = None
+        if self.manifest_path.exists():
+            try:
+                total = self.manifest().get("total_jobs")
+            except StoreError:
+                total = None  # corrupt manifest: fall back to the stamp
+        if total is None:
+            try:
+                stamped = self.stamped_scenario()
+            except StoreError:
+                stamped = None  # corrupt stamp: treat like a missing one
+            if stamped is not None:
+                total = len(stamped.expand())
+        if total is None:
+            return None
+        return {"records": records, "total": total,
+                "complete": records >= total}
 
     # ------------------------------------------------------------ aggregation
 

@@ -9,6 +9,8 @@ and attacked without writing Python:
 * ``repro-lock bench    --list``                      — list / generate benchmark designs
 * ``repro-lock evaluate --benchmarks MD5 FIR``        — run the Fig. 6 style evaluation
 * ``repro-lock run      scenario.json --jobs 4``      — run a declarative scenario (resumable)
+* ``repro-lock report   runs/<name>``                 — re-render figures/tables from a results store
+* ``repro-lock sim-bench --json BENCH_sim.json``      — micro-benchmark the simulation engines
 
 Locking algorithms and attacks are resolved through the :mod:`repro.api`
 registries, so the ``--algorithm``/``--attack`` choices (and their ``--help``
@@ -273,6 +275,33 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render figures and tables from a results store — no re-simulation.
+
+    Works on complete stores (full report: Fig. 6 tables, per-axis sweep
+    tables for matrix scenarios, timing-vs-estimate validation) and degrades
+    gracefully on partial ones (interrupted runs, stores still filling): the
+    report covers the records present and flags the run as PARTIAL.
+    """
+    from .eval import store_report
+
+    store = ResultsStore(args.store)
+    if not store.root.exists():
+        print(f"error: results store {store.root} does not exist",
+              file=sys.stderr)
+        return 1
+    try:
+        report = store_report(store)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(report)
+    if args.output is not None:
+        args.output.write_text(report + "\n")
+        print(f"\nReport written to {args.output}")
+    return 0
+
+
 def cmd_sim_bench(args: argparse.Namespace) -> int:
     """Compare the simulation engines and the key-sweep fast path."""
     from .sim.bench import (compare_engines, compare_key_sweep,
@@ -441,6 +470,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("-q", "--quiet", action="store_true",
                      help="suppress per-job progress lines")
     run.set_defaults(func=cmd_run)
+
+    report = subparsers.add_parser(
+        "report",
+        help="render figures/tables from a results store (no re-simulation)")
+    report.add_argument("store", type=Path,
+                        help="results-store directory written by 'run' or "
+                             "'evaluate --store'")
+    report.add_argument("-o", "--output", type=Path, default=None,
+                        help="also write the report to a file")
+    report.set_defaults(func=cmd_report)
 
     sim_bench = subparsers.add_parser(
         "sim-bench",

@@ -350,6 +350,79 @@ def figure6_from_store(store) -> Figure6Data:
     return Figure6Data(per_benchmark=per_benchmark, average=average)
 
 
+# ---------------------------------------------------------------------------
+# Per-axis sweep tables — scenario-matrix studies (seeds / key size / budget)
+# ---------------------------------------------------------------------------
+
+#: Display order of the scenario matrix axes (matches the job-id tag order).
+AXIS_ORDER = ("seed", "key_budget_fraction", "time_budget")
+
+
+@dataclass
+class AxisSweepData:
+    """Mean KPA along one matrix axis of a scenario run (per locker).
+
+    Attributes:
+        axis: Axis name (``seed``, ``key_budget_fraction``, ``time_budget``).
+        values: The axis points, numerically sorted.
+        kpa: ``{axis_value: {locker: mean KPA}}``.
+        counts: ``{axis_value: {locker: number of attack records}}``.
+    """
+
+    axis: str
+    values: List
+    kpa: Dict
+    counts: Dict
+
+    def algorithms(self) -> List[str]:
+        """Sorted locker names appearing anywhere on the axis."""
+        return sorted({algorithm for cells in self.kpa.values()
+                       for algorithm in cells})
+
+
+def axis_sweeps_from_records(records) -> List[AxisSweepData]:
+    """Aggregate swept attack records into one :class:`AxisSweepData` per axis.
+
+    Only records carrying matrix-axis tags (the ``axes`` entry written by
+    :func:`repro.api.runner.execute_job` for swept jobs) contribute; a store
+    of a single-value scenario yields an empty list.  Nothing is
+    re-simulated — this is a pure aggregation over stored KPA values.
+    """
+    grouped: Dict[str, Dict] = {}
+    for record in records:
+        if record.get("kind") != "attack":
+            continue
+        axes = record.get("axes") or {}
+        try:
+            kpa = float(record["result"]["kpa"])
+        except (KeyError, TypeError, ValueError):
+            continue
+        for axis, value in axes.items():
+            cells = grouped.setdefault(axis, {}).setdefault(value, {})
+            cells.setdefault(record.get("locker", "?"), []).append(kpa)
+
+    sweeps: List[AxisSweepData] = []
+    ordered = [axis for axis in AXIS_ORDER if axis in grouped]
+    ordered += sorted(set(grouped) - set(AXIS_ORDER))
+    for axis in ordered:
+        by_value = grouped[axis]
+        values = sorted(by_value)
+        kpa = {value: {algorithm: sum(vals) / len(vals)
+                       for algorithm, vals in by_value[value].items()}
+               for value in values}
+        counts = {value: {algorithm: len(vals)
+                          for algorithm, vals in by_value[value].items()}
+                  for value in values}
+        sweeps.append(AxisSweepData(axis=axis, values=values, kpa=kpa,
+                                    counts=counts))
+    return sweeps
+
+
+def axis_sweeps_from_store(store) -> List[AxisSweepData]:
+    """Per-axis sweep data straight from a results store (no re-simulation)."""
+    return axis_sweeps_from_records(store.records())
+
+
 #: KPA values reported by the paper (Fig. 6b) — used by EXPERIMENTS.md and by
 #: the shape checks in the benchmark harness.
 PAPER_AVERAGE_KPA = {"assure": 74.78, "hra": 74.26, "era": 47.92}

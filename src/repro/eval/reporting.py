@@ -143,6 +143,99 @@ def experiment_report_from_store(store) -> str:
     return report_from_samples(store.kpa_samples(), algorithms=algorithms)
 
 
+def store_report(store) -> str:
+    """Render the full ``repro.cli report`` text for a results store.
+
+    Everything comes from disk — records, manifest, scenario stamp — and
+    nothing is re-simulated, so the report works long after the run, on a
+    different machine, and *degrades gracefully* on incomplete stores:
+
+    * a store whose run was interrupted before the manifest was written
+      falls back to the scenario stamp for the workload description,
+    * a partially filled store reports over the records it has and flags
+      the run as PARTIAL with the outstanding job count,
+    * sections render only when their data exists (KPA tables need attack
+      records, sweep tables need matrix axes, the timing table needs a
+      manifest).
+
+    Raises:
+        StoreError: when the store has neither records nor a scenario stamp
+            (i.e. it is not a results store at all).
+    """
+    from ..api.store import StoreError, kpa_samples_from_records
+    from .figures import axis_sweeps_from_records
+    from .tables import axis_sweep_table_text, timing_table_text
+
+    try:
+        manifest = store.manifest()
+    except StoreError:
+        manifest = None
+    scenario = None
+    if manifest is not None:
+        from ..api.scenario import Scenario
+
+        # validate=False: a store must stay reportable even when the
+        # components that produced it are not registered here.
+        scenario = Scenario.from_dict(manifest["scenario"], validate=False)
+    else:
+        try:
+            scenario = store.stamped_scenario()
+        except StoreError:
+            scenario = None  # corrupt stamp: report from raw records
+    records = list(store.records())
+    if scenario is None and not records:
+        raise StoreError(
+            f"{store.root} is not a results store: no job records, no "
+            "manifest and no scenario stamp")
+
+    parts: List[str] = [f"Results store: {store.root}"]
+    if scenario is not None:
+        parts.append(f"Scenario: {scenario.name!r} "
+                     f"(fingerprint {scenario.fingerprint()})")
+        axes = scenario.axis_values()
+        if axes:
+            rendered = "; ".join(f"{axis}={values}"
+                                 for axis, values in axes.items())
+            parts.append(f"Matrix axes: {rendered}")
+    completion = store.completion()
+    if completion is not None:
+        state = ("COMPLETE" if completion["complete"]
+                 else f"PARTIAL — {completion['total'] - completion['records']}"
+                      " job(s) outstanding (resume with 'repro-lock run')")
+        parts.append(f"Records: {completion['records']}/{completion['total']}"
+                     f" ({state})")
+    else:
+        parts.append(f"Records: {len(records)} (expected total unknown — "
+                     "no manifest or scenario stamp)")
+    if manifest is None:
+        parts.append("Note: no manifest (run interrupted?) — reporting from "
+                     "raw records" + ("" if scenario is None
+                                      else " and the scenario stamp"))
+
+    samples = kpa_samples_from_records(records)
+    if samples:
+        algorithms = ([spec.algorithm for spec in scenario.lockers]
+                      if scenario is not None else None)
+        parts += ["", report_from_samples(samples, algorithms=algorithms)]
+
+    for sweep in axis_sweeps_from_records(records):
+        parts += ["", axis_sweep_table_text(sweep)]
+
+    metric_counts: Dict[str, int] = {}
+    for record in records:
+        if record.get("kind") == "metric":
+            name = str(record.get("metric"))
+            metric_counts[name] = metric_counts.get(name, 0) + 1
+    if metric_counts:
+        rendered = ", ".join(f"{name} ({count})"
+                             for name, count in sorted(metric_counts.items()))
+        parts += ["", f"Metric records: {rendered} (see {store.jobs_dir})"]
+
+    if manifest is not None and manifest.get("jobs"):
+        parts += ["", timing_table_text(manifest["jobs"])]
+    return "\n".join(parts)
+
+
 def _render_report(per_benchmark: Mapping[str, Mapping[str, float]],
                    average: Mapping[str, float],
                    algorithms: Sequence[str]) -> str:

@@ -79,6 +79,60 @@ def trajectory_table_text(trajectories: Mapping[str, "object"],
     return format_table(headers, rows, title=title)
 
 
+def axis_sweep_table_text(sweep: "object",
+                          algorithms: Optional[Sequence[str]] = None) -> str:
+    """Render one per-axis sweep table (mean KPA per axis value × locker).
+
+    Args:
+        sweep: An :class:`~repro.eval.figures.AxisSweepData`.
+        algorithms: Column order; defaults to the lockers present.
+    """
+    if algorithms is None:
+        algorithms = sweep.algorithms()
+    headers = [sweep.axis] + [a.upper() for a in algorithms] + ["records"]
+    rows = []
+    for value in sweep.values:
+        cells = sweep.kpa.get(value, {})
+        counts = sweep.counts.get(value, {})
+        rows.append([value]
+                    + [cells.get(a, float("nan")) for a in algorithms]
+                    + [sum(counts.values())])
+    return format_table(headers, rows,
+                        title=f"Mean KPA (%) per {sweep.axis} "
+                              f"(scenario matrix axis)")
+
+
+def timing_table_text(job_summaries: Sequence[Mapping],
+                      title: str = "Wall time vs. scheduler cost estimate"
+                      ) -> str:
+    """Render the measured-vs-estimated cost table from manifest summaries.
+
+    Groups the manifest's per-job summaries by (benchmark, locker) and shows
+    total measured wall time next to the scheduler's total estimated cost —
+    the validation view for :meth:`JobSpec.estimated_cost
+    <repro.api.scenario.JobSpec.estimated_cost>` (estimates are relative, so
+    the interesting signal is whether seconds-per-unit is roughly constant
+    across rows).
+    """
+    groups: Dict[tuple, Dict[str, float]] = {}
+    for summary in job_summaries:
+        key = (str(summary.get("benchmark")), str(summary.get("locker")))
+        bucket = groups.setdefault(key, {"jobs": 0, "elapsed": 0.0,
+                                         "cost": 0.0})
+        bucket["jobs"] += 1
+        bucket["elapsed"] += float(summary.get("elapsed_seconds") or 0.0)
+        bucket["cost"] += float(summary.get("estimated_cost") or 0.0)
+    rows = []
+    for (benchmark, locker), bucket in sorted(groups.items()):
+        per_unit = (bucket["elapsed"] / bucket["cost"] * 1000.0
+                    if bucket["cost"] else float("nan"))
+        rows.append([benchmark, locker, int(bucket["jobs"]),
+                     bucket["elapsed"], bucket["cost"], per_unit])
+    return format_table(
+        ["benchmark", "locker", "jobs", "elapsed (s)", "est. cost",
+         "ms/unit"], rows, title=title)
+
+
 def observation_table_text(pools: Mapping[str, "object"],
                            title: str = "Operation-selection study (Fig. 4)") -> str:
     """Render the Fig. 4 observation-pool summary."""

@@ -216,3 +216,118 @@ class TestResumableStore:
         assert set(data.average) == {"assure", "era"}
         report = experiment_report_from_store(store)
         assert "Average KPA" in report and "SASC" in report
+
+
+class TestCostAwareScheduling:
+    def test_chunks_dispatch_largest_first(self):
+        from repro.api.runner import schedule_chunks
+
+        scenario = quick_scenario(benchmarks=("SASC", "MD5"), samples=2)
+        todo = list(enumerate(scenario.expand()))
+        chunks = schedule_chunks(todo, workers=2)
+        assert sorted(i for chunk in chunks for i in chunk) == \
+            [i for i, _ in todo]
+        by_index = dict(todo)
+        totals = [sum(by_index[i].estimated_cost() for i in chunk)
+                  for chunk in chunks]
+        assert totals == sorted(totals, reverse=True)
+        # MD5 is far larger than SASC, so its chunks lead the dispatch.
+        assert by_index[chunks[0][0]].benchmark == "MD5"
+
+    def test_chunks_preserve_benchmark_affinity(self):
+        from repro.api.runner import schedule_chunks
+
+        scenario = quick_scenario(benchmarks=("SASC", "MD5"), samples=4)
+        todo = list(enumerate(scenario.expand()))
+        by_index = dict(todo)
+        for chunk in schedule_chunks(todo, workers=2):
+            assert len({by_index[i].benchmark for i in chunk}) == 1
+
+    def test_schedule_is_deterministic(self):
+        from repro.api.runner import schedule_chunks
+
+        scenario = quick_scenario(samples=3)
+        todo = list(enumerate(scenario.expand()))
+        assert schedule_chunks(todo, workers=2) == \
+            schedule_chunks(todo, workers=2)
+
+    def test_chunk_loads_are_balanced_not_concentrated(self):
+        """A skewed budget sweep must spread its expensive points across
+        chunks (greedy LPT), not slice them contiguously into one
+        straggler chunk."""
+        from repro.api import AttackSpec, LockerSpec, Scenario
+        from repro.api.runner import schedule_chunks
+
+        scenario = Scenario(
+            name="skew", benchmarks=("SASC",), lockers=(LockerSpec("era"),),
+            attacks=(AttackSpec("snapshot", rounds=4,
+                                time_budgets=(1.0, 16.0)),),
+            samples=8, scale=0.15)
+        todo = list(enumerate(scenario.expand()))
+        by_index = dict(todo)
+        chunks = schedule_chunks(todo, workers=2)
+        totals = [sum(by_index[i].estimated_cost() for i in chunk)
+                  for chunk in chunks]
+        assert len(totals) == 2
+        # Perfect balance is possible here (8 heavy + 8 light jobs).
+        assert max(totals) <= 1.25 * min(totals)
+
+    def test_cost_scheduled_parallel_run_stays_bit_identical(self):
+        scenario = quick_scenario(benchmarks=("SASC",), samples=2)
+        serial = Runner(scenario, jobs=1).run()
+        parallel = Runner(scenario, jobs=3).run()
+        for job_id in serial.records:
+            assert strip_timing(serial.records[job_id]) == \
+                strip_timing(parallel.records[job_id])
+
+
+class TestManifestCostData:
+    def test_manifest_pairs_wall_time_with_estimate(self, tmp_path):
+        scenario = quick_scenario()
+        store = ResultsStore(tmp_path / "store")
+        Runner(scenario, store=store).run()
+        manifest = store.manifest()
+        assert manifest["total_jobs"] == len(scenario.expand())
+        by_id = {job.job_id: job for job in scenario.expand()}
+        for summary in manifest["jobs"]:
+            assert summary["elapsed_seconds"] > 0
+            assert summary["estimated_cost"] == pytest.approx(
+                by_id[summary["job_id"]].estimated_cost())
+
+    def test_completion_states(self, tmp_path):
+        scenario = quick_scenario()
+        store = ResultsStore(tmp_path / "store")
+        assert store.completion() is None  # nothing on disk at all
+        Runner(scenario, store=store).run()
+        assert store.completion() == {"records": 2, "total": 2,
+                                      "complete": True}
+        store.record_path(store.job_ids()[0]).unlink()
+        completion = store.completion()
+        assert completion["records"] == 1 and not completion["complete"]
+
+    def test_completion_falls_back_to_the_stamp(self, tmp_path):
+        """An interrupted run (no manifest) still knows its expected total."""
+        scenario = quick_scenario()
+        store = ResultsStore(tmp_path / "store")
+        Runner(scenario, store=store).run()
+        store.manifest_path.unlink()
+        assert store.stamped_scenario() is not None
+        assert store.completion() == {"records": 2, "total": 2,
+                                      "complete": True}
+
+    def test_corrupt_manifest_degrades_not_crashes(self, tmp_path):
+        """A truncated manifest (killed mid-run before the atomic write
+        existed) raises StoreError from manifest() and falls back to the
+        stamp in completion() — so 'report' degrades instead of crashing."""
+        scenario = quick_scenario()
+        store = ResultsStore(tmp_path / "store")
+        Runner(scenario, store=store).run()
+        store.manifest_path.write_text('{"version": 1, "jobs": [tru')
+        with pytest.raises(StoreError, match="corrupt manifest"):
+            store.manifest()
+        assert store.completion() == {"records": 2, "total": 2,
+                                      "complete": True}
+        from repro.eval import store_report
+
+        report = store_report(store)
+        assert "Average KPA" in report and "no manifest" in report

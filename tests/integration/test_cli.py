@@ -248,6 +248,101 @@ class TestRunScenario:
         assert "does not exist" in capsys.readouterr().err
 
 
+class TestReport:
+    """``repro-lock report <store>``: figures from disk, no re-simulation."""
+
+    @staticmethod
+    def _run_scenario(tmp_path, capsys, scenario_text, store_name):
+        scenario_file = tmp_path / "scenario.json"
+        scenario_file.write_text(scenario_text)
+        store = tmp_path / store_name
+        assert main(["run", str(scenario_file), "--store", str(store),
+                     "-q"]) == 0
+        capsys.readouterr()
+        return store
+
+    MATRIX_SCENARIO = json.dumps({
+        "name": "report-matrix",
+        "benchmarks": ["SASC"],
+        "lockers": [{"algorithm": "era",
+                     "key_budget_fractions": [0.25, 0.75]}],
+        "attacks": [{"name": "snapshot", "rounds": 3,
+                     "time_budgets": [0.5, 1.0]}],
+        "samples": 1,
+        "scale": 0.15,
+        "seeds": [3, 5],
+    })
+
+    SINGLE_SCENARIO = json.dumps({
+        "name": "report-single",
+        "benchmarks": ["SASC"],
+        "lockers": ["era"],
+        "attacks": [{"name": "snapshot", "rounds": 3, "time_budget": 0.5}],
+        "samples": 1,
+        "scale": 0.15,
+        "seed": 3,
+    })
+
+    def test_report_renders_matrix_store_without_rerunning(self, tmp_path,
+                                                           capsys):
+        store = self._run_scenario(tmp_path, capsys, self.MATRIX_SCENARIO,
+                                   "matrix_store")
+        jobs_before = {path: path.stat().st_mtime_ns
+                       for path in (store / "jobs").glob("*.json")}
+        assert main(["report", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "Records: 8/8 (COMPLETE)" in out
+        assert "Mean KPA (%) per seed" in out
+        assert "Mean KPA (%) per key_budget_fraction" in out
+        assert "Mean KPA (%) per time_budget" in out
+        assert "Wall time vs. scheduler cost estimate" in out
+        # Nothing was re-simulated: no record file was touched.
+        assert {path: path.stat().st_mtime_ns
+                for path in (store / "jobs").glob("*.json")} == jobs_before
+
+    def test_report_single_value_store_has_no_sweep_tables(self, tmp_path,
+                                                           capsys):
+        store = self._run_scenario(tmp_path, capsys, self.SINGLE_SCENARIO,
+                                   "single_store")
+        assert main(["report", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "Average KPA" in out
+        assert "scenario matrix axis" not in out
+
+    def test_report_degrades_gracefully_on_partial_store(self, tmp_path,
+                                                         capsys):
+        """A store whose run was interrupted (missing record, no manifest)
+        still reports over what it has, flagged as PARTIAL."""
+        store = self._run_scenario(tmp_path, capsys, self.MATRIX_SCENARIO,
+                                   "partial_store")
+        records = sorted((store / "jobs").glob("*.json"))
+        records[0].unlink()
+        (store / "manifest.json").unlink()
+        assert main(["report", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "Records: 7/8 (PARTIAL" in out
+        assert "no manifest" in out
+        assert "Average KPA" in out
+
+    def test_report_writes_output_file(self, tmp_path, capsys):
+        store = self._run_scenario(tmp_path, capsys, self.SINGLE_SCENARIO,
+                                   "out_store")
+        output = tmp_path / "report.txt"
+        assert main(["report", str(store), "-o", str(output)]) == 0
+        capsys.readouterr()
+        assert "Average KPA" in output.read_text()
+
+    def test_report_on_missing_store_fails_clearly(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "absent")]) == 1
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_report_on_non_store_directory_fails_clearly(self, tmp_path,
+                                                         capsys):
+        (tmp_path / "not_a_store").mkdir()
+        assert main(["report", str(tmp_path / "not_a_store")]) == 1
+        assert "not a results store" in capsys.readouterr().err
+
+
 class TestSimBench:
     def test_suite_reports_engines_and_sweeps(self, capsys):
         code = main(["sim-bench", "--vectors", "16", "--keys", "8",
