@@ -27,7 +27,8 @@ from repro.sim import (
     random_input_batch,
     random_key,
 )
-from repro.sim.bench import compare_engines, compare_key_sweep
+from repro.sim.bench import (compare_engines, compare_key_sweep,
+                             compare_sweep_vn)
 from repro.verilog import generate, parse
 
 from .conftest import write_result
@@ -199,6 +200,58 @@ def test_key_sweep_throughput_era_md5(benchmark, era_locked_md5):
 
     results = benchmark(simulator.run_sweep, batch, keys=keys, n=32)
     assert len(results) == 64
+
+
+# ---------------------------------------------------------------------------
+# Sweep value-numbering
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def era_locked_i2c() -> Design:
+    base = load_benchmark("I2C_SL", scale=0.25, seed=0)
+    budget = max(1, int(0.75 * base.num_operations()))
+    return ERALocker(rng=random.Random(0),
+                     track_metrics=False).lock(base, budget).design
+
+
+def test_sweep_vn_speedup_on_kpa_shape(results_dir, era_locked_i2c):
+    """Acceptance gate: value-numbering >= 1.5x on the KPA sweep shape.
+
+    64 key hypotheses over one shared 512-vector batch — the SnapShot
+    functional-KPA pattern — on an ERA-locked control-style design whose
+    key cone leaves most of the plan point-invariant.  The baseline is the
+    flat PR 2 sweep (every step on all S×V lanes, ``hoist=False``).
+    """
+    comparison = compare_sweep_vn(era_locked_i2c, keys=64, vectors=512,
+                                  rng=random.Random(0), repeats=3)
+    assert comparison.outputs_match
+    assert comparison.invariant_steps > 0
+    assert comparison.hoisted_subexprs > 0
+    write_result(results_dir, "sweep_vn_speedup",
+                 f"design={comparison.design_name} keys=64 vectors=512 "
+                 f"flat={comparison.flat_seconds * 1e3:.2f}ms "
+                 f"hoisted={comparison.hoisted_seconds * 1e3:.2f}ms "
+                 f"invariant={comparison.invariant_steps}/"
+                 f"{comparison.total_steps} "
+                 f"speedup={comparison.speedup:.2f}x")
+    assert comparison.speedup >= 1.5, (
+        f"sweep value-numbering only {comparison.speedup:.2f}x faster "
+        "than the flat S*V sweep")
+
+
+def test_sweep_vn_stats_report_per_pass_deltas(era_locked_i2c):
+    """plan.stats carries the per-pass step deltas the gate reports."""
+    plan = compile_plan(era_locked_i2c)
+    names = [delta.name for delta in plan.stats.passes]
+    assert names == ["fold", "cse", "sweep-vn", "lower", "prune"]
+    lower = next(d for d in plan.stats.passes if d.name == "lower")
+    prune = next(d for d in plan.stats.passes if d.name == "prune")
+    assert lower.steps_after >= lower.steps_before  # $cse/$vn slots emitted
+    assert prune.steps_after <= prune.steps_before
+    assert plan.stats.invariant_steps > 0
+    assert plan.stats.hoisted_subexprs > 0
+    assert plan.sweep_hoist
 
 
 def test_plan_cache_hit_rate_in_attack_validation(locked_md5):

@@ -84,6 +84,10 @@ __all__ = [
     "schedule_chunks",
     "ResultsStore",
     "StoreError",
+    "CostModel",
+    "fit_cost_model",
+    "fit_cost_model_from_pairs",
+    "fit_cost_model_from_store",
 ]
 
 #: Lazy attribute → defining submodule map (PEP 562).  The scenario/runner/
@@ -104,6 +108,10 @@ _LAZY = {
     "schedule_chunks": "runner",
     "ResultsStore": "store",
     "StoreError": "store",
+    "CostModel": "costmodel",
+    "fit_cost_model": "costmodel",
+    "fit_cost_model_from_pairs": "costmodel",
+    "fit_cost_model_from_store": "costmodel",
 }
 
 

@@ -1,0 +1,105 @@
+"""Cost-model calibration: turn past run manifests into wall-time forecasts.
+
+:meth:`JobSpec.estimated_cost <repro.api.scenario.JobSpec.estimated_cost>`
+is deliberately unit-free — the scheduler only needs the *ordering*.  But a
+finished store manifest pairs every record's measured ``elapsed_seconds``
+with its ``estimated_cost``, which is exactly the calibration data needed to
+give the unit a meaning: :func:`fit_cost_model` fits milliseconds-per-cost-
+unit from those pairs (least squares through the origin, so a job of zero
+cost predicts zero seconds), and the resulting :class:`CostModel` predicts
+the wall time of any job list before it runs.
+
+``repro.cli run scenario.json --dry-run`` uses this to print a job plan with
+a wall-time ETA — calibrated from the target store's own manifest when the
+run is a resume, or from any manifest passed via ``--calibrate-from``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """A fitted seconds-per-cost-unit model.
+
+    Attributes:
+        ms_per_unit: Fitted milliseconds per cost unit.
+        jobs: Number of (elapsed, estimate) calibration pairs used.
+        total_elapsed: Total measured seconds across the pairs.
+        total_cost: Total estimated cost across the pairs.
+    """
+
+    ms_per_unit: float
+    jobs: int
+    total_elapsed: float
+    total_cost: float
+
+    def predict_seconds(self, cost: float) -> float:
+        """Predicted wall time (seconds) of work totalling ``cost`` units."""
+        return cost * self.ms_per_unit / 1000.0
+
+
+def fit_cost_model(manifest: Mapping) -> Optional[CostModel]:
+    """Fit ms-per-cost-unit from a store manifest's job summaries.
+
+    Only summaries carrying both a measured ``elapsed_seconds`` and a
+    positive ``estimated_cost`` contribute (records of jobs whose spec is no
+    longer in the scenario have no estimate and are skipped).  The fit is a
+    least-squares line through the origin — ``sum(e*c) / sum(c*c)`` — which
+    weights long jobs more, matching how the total wall time is dominated
+    by them.
+
+    Args:
+        manifest: A manifest dictionary as written by
+            :meth:`ResultsStore.write_manifest
+            <repro.api.store.ResultsStore.write_manifest>`.
+
+    Returns:
+        The fitted model, or ``None`` when the manifest has no usable
+        calibration pairs.
+    """
+    return fit_cost_model_from_pairs(
+        (summary.get("elapsed_seconds"), summary.get("estimated_cost"))
+        for summary in manifest.get("jobs", []))
+
+
+def fit_cost_model_from_pairs(pairs: Iterable) -> Optional[CostModel]:
+    """Fit ms-per-cost-unit from raw ``(elapsed_seconds, cost)`` pairs."""
+    clean = []
+    for elapsed, cost in pairs:
+        if elapsed is None or cost is None:
+            continue
+        elapsed = float(elapsed)
+        cost = float(cost)
+        if cost <= 0.0 or elapsed < 0.0:
+            continue
+        clean.append((elapsed, cost))
+    if not clean:
+        return None
+    numerator = sum(elapsed * cost for elapsed, cost in clean)
+    denominator = sum(cost * cost for _, cost in clean)
+    if denominator <= 0.0:
+        return None
+    return CostModel(
+        ms_per_unit=1000.0 * numerator / denominator,
+        jobs=len(clean),
+        total_elapsed=sum(elapsed for elapsed, _ in clean),
+        total_cost=sum(cost for _, cost in clean),
+    )
+
+
+def fit_cost_model_from_store(store) -> Optional[CostModel]:
+    """Fit a cost model from a results store's manifest, if it has one.
+
+    Returns ``None`` for stores without a (readable) manifest — callers
+    fall back to reporting raw cost units.
+    """
+    from .store import StoreError
+
+    try:
+        manifest = store.manifest()
+    except StoreError:
+        return None
+    return fit_cost_model(manifest)

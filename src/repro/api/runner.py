@@ -113,8 +113,11 @@ def execute_job(job: JobSpec, pair_table=None) -> Dict:
     """Execute one job and return its (JSON-ready) record.
 
     The lock step replays the exact seeding of the historical
-    ``SnapShotExperiment.run_cell``; the locked sample's evaluation plan is
-    warmed into the process-wide cache before any simulation-backed step.
+    ``SnapShotExperiment.run_cell``; the locked sample's evaluation plan —
+    compiled once through the full ``repro.sim.plan`` pass pipeline,
+    sweep-value-numbering tags included — is warmed into the process-wide
+    cache before any simulation-backed step, so every key sweep and metric
+    inside the job starts from a cache hit.
     """
     from ..sim import warm_plan_cache
 

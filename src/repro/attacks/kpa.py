@@ -73,7 +73,10 @@ def functional_kpa_many(design, candidates: Sequence[Sequence[int]],
     The correct key and every candidate evaluate as lanes of a *single*
     pass over one shared input batch — the key-trial pattern of attack
     post-processing (model ensembles, per-bit flips, beam candidates) at the
-    cost of one batch call instead of ``len(candidates) + 1``.
+    cost of one batch call instead of ``len(candidates) + 1``.  On plans
+    compiled with sweep value-numbering (the default), the point-invariant
+    part of the design additionally evaluates once on the shared batch
+    instead of once per candidate (see ``plan.stats.invariant_steps``).
 
     Args:
         design: A locked :class:`~repro.rtlir.design.Design`.

@@ -85,9 +85,11 @@ class SnapShotAttack:
             statistical signal (operation-pair frequencies) is preserved while
             the model-search cost stays bounded on very large targets.
         functional_vectors: When positive, the predicted key is additionally
-            validated functionally: the target is batch-simulated under the
-            predicted and the correct key on this many shared input vectors
-            and the match rate is reported as
+            validated functionally: the target is simulated under the
+            predicted and the correct key as one key sweep over this many
+            shared input vectors (both hypotheses ride the target's cached
+            compiled plan, with point-invariant work hoisted out of the
+            per-key lanes) and the match rate is reported as
             :attr:`AttackResult.functional_kpa`.  0 (the default) skips the
             simulation entirely.
         deterministic: Run the default auto-ML search in deterministic mode

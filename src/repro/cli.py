@@ -227,6 +227,80 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _dry_run_plan(scenario, store, args) -> int:
+    """Print the expanded job plan with a calibrated wall-time ETA."""
+    from .api import fit_cost_model, fit_cost_model_from_store
+
+    # Same identity check the real run performs: a plan computed against a
+    # store stamped by a different scenario would be fiction (its records
+    # and manifest belong to another workload).
+    try:
+        stamp = store.scenario_stamp()
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if stamp is not None and stamp != scenario.fingerprint():
+        print(f"error: store {store.root} belongs to a different scenario "
+              f"(stamped {stamp}, this scenario is "
+              f"{scenario.fingerprint()})", file=sys.stderr)
+        return 1
+
+    jobs = scenario.expand()
+    pending = [job for job in jobs
+               if args.no_resume or not store.has(job.job_id)]
+
+    model = None
+    source = None
+    if args.calibrate_from is not None:
+        try:
+            manifest = json.loads(args.calibrate_from.read_text())
+            if not isinstance(manifest, dict):
+                raise ValueError("not a manifest object")
+            model = fit_cost_model(manifest)
+        except (OSError, json.JSONDecodeError, ValueError) as exc:
+            print(f"error: cannot calibrate from {args.calibrate_from}: "
+                  f"{exc}", file=sys.stderr)
+            return 1
+        source = args.calibrate_from
+    else:
+        model = fit_cost_model_from_store(store)
+        source = store.manifest_path
+    per_benchmark: dict = {}
+    for job in pending:
+        bucket = per_benchmark.setdefault(job.benchmark,
+                                          {"jobs": 0, "cost": 0.0})
+        bucket["jobs"] += 1
+        bucket["cost"] += job.estimated_cost()
+    total_cost = sum(bucket["cost"] for bucket in per_benchmark.values())
+
+    def eta(cost: float) -> str:
+        if model is None:
+            return "-"
+        return f"{model.predict_seconds(cost):.1f}"
+
+    rows = [[benchmark, bucket["jobs"], bucket["cost"], eta(bucket["cost"])]
+            for benchmark, bucket in sorted(per_benchmark.items())]
+    rows.append(["TOTAL", len(pending), total_cost, eta(total_cost)])
+    print(f"Scenario {scenario.name!r}: {len(jobs)} job(s) expanded, "
+          f"{len(jobs) - len(pending)} already in {store.root}, "
+          f"{len(pending)} to execute")
+    print()
+    print(format_table(["benchmark", "jobs", "est. cost", "ETA (s)"],
+                       rows, title="Dry run — nothing was executed"))
+    if model is None:
+        print("\nNo calibration data: ETAs need a completed store manifest "
+              "(re-run after a first run, or pass --calibrate-from "
+              "<manifest.json>).")
+    else:
+        print(f"\nCost model: {model.ms_per_unit:.3f} ms/unit, fitted from "
+              f"{model.jobs} job(s) in {source}")
+        if len(pending) > 1 and args.jobs > 1:
+            serial = model.predict_seconds(total_cost)
+            print(f"ETA: {serial:.1f}s serial; >= {serial / args.jobs:.1f}s "
+                  f"with --jobs {args.jobs} (perfect-split lower bound)")
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """Run a declarative scenario file through the parallel runner."""
     try:
@@ -236,6 +310,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         return 1
     store = ResultsStore(args.store if args.store is not None
                          else Path("runs") / scenario.name)
+    if args.dry_run:
+        return _dry_run_plan(scenario, store, args)
 
     def progress(done: int, total: int, record: dict) -> None:
         if args.quiet:
@@ -278,12 +354,16 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     """Render figures and tables from a results store — no re-simulation.
 
-    Works on complete stores (full report: Fig. 6 tables, per-axis sweep
-    tables for matrix scenarios, timing-vs-estimate validation) and degrades
-    gracefully on partial ones (interrupted runs, stores still filling): the
-    report covers the records present and flags the run as PARTIAL.
+    Works on complete stores (full report: Fig. 6 tables, per-axis and
+    per-(benchmark, axis) sweep tables for matrix scenarios,
+    timing-vs-estimate validation) and degrades gracefully on partial ones
+    (interrupted runs, stores still filling): the report covers the records
+    present and flags the run as PARTIAL.  ``--json`` additionally writes
+    the machine-readable report (Fig. 6 + axis-sweep data with confidence
+    intervals) for downstream tooling.
     """
-    from .eval import store_report
+    from .eval import store_report, store_report_json
+    from .eval.reporting import store_context
 
     store = ResultsStore(args.store)
     if not store.root.exists():
@@ -291,7 +371,12 @@ def cmd_report(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 1
     try:
-        report = store_report(store)
+        # One disk read serves both renderings (and keeps them consistent
+        # if the store is still being written to).
+        context = store_context(store)
+        report = store_report(store, context=context)
+        data = store_report_json(store, context=context) \
+            if args.json is not None else None
     except StoreError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -299,14 +384,18 @@ def cmd_report(args: argparse.Namespace) -> int:
     if args.output is not None:
         args.output.write_text(report + "\n")
         print(f"\nReport written to {args.output}")
+    if data is not None:
+        args.json.write_text(json.dumps(data, indent=2) + "\n")
+        print(f"\nJSON report written to {args.json}")
     return 0
 
 
 def cmd_sim_bench(args: argparse.Namespace) -> int:
     """Compare the simulation engines and the key-sweep fast path."""
     from .sim.bench import (compare_engines, compare_key_sweep,
-                            default_suite, format_report,
-                            format_sweep_report, report_json)
+                            compare_sweep_vn, default_suite, format_report,
+                            format_sweep_report, format_vn_report,
+                            report_json, run_sweep_vn_microbenchmark)
 
     if args.vectors < 1:
         raise SystemExit("error: --vectors must be positive")
@@ -314,6 +403,8 @@ def cmd_sim_bench(args: argparse.Namespace) -> int:
         raise SystemExit("error: --repeats must be positive")
     if args.keys < 1:
         raise SystemExit("error: --keys must be positive")
+    if args.vn_vectors < 1:
+        raise SystemExit("error: --vn-vectors must be positive")
     from .sim import BatchCompileError
 
     if args.input is not None:
@@ -336,6 +427,16 @@ def cmd_sim_bench(args: argparse.Namespace) -> int:
                                     rng=random.Random(args.seed),
                                     repeats=args.repeats, label=label)
                   for label, design in suite if design.is_locked]
+        if args.input is not None:
+            vn_sweeps = [compare_sweep_vn(design, keys=args.keys,
+                                          vectors=args.vn_vectors,
+                                          rng=random.Random(args.seed),
+                                          repeats=args.repeats, label=label)
+                         for label, design in suite if design.is_locked]
+        else:
+            vn_sweeps = run_sweep_vn_microbenchmark(
+                keys=args.keys, vectors=args.vn_vectors, scale=args.scale,
+                seed=args.seed, repeats=args.repeats)
     except BatchCompileError as exc:
         raise SystemExit(f"error: design is not batch-compilable ({exc}); "
                          "only the scalar engine can simulate it")
@@ -343,6 +444,9 @@ def cmd_sim_bench(args: argparse.Namespace) -> int:
     if sweeps:
         print()
         print(format_sweep_report(sweeps))
+    if vn_sweeps:
+        print()
+        print(format_vn_report(vn_sweeps))
     if args.avalanche:
         from .locking.metrics import avalanche_sensitivity
         from .sim import SimulationError
@@ -366,11 +470,13 @@ def cmd_sim_bench(args: argparse.Namespace) -> int:
             rows, title="Avalanche sensitivity (fraction of output bits "
                         "flipped per single-bit input flip)"))
     if args.json is not None:
-        args.json.write_text(json.dumps(report_json(results, sweeps),
+        args.json.write_text(json.dumps(report_json(results, sweeps,
+                                                    vn_sweeps),
                                         indent=2) + "\n")
         print(f"\nJSON report written to {args.json}")
     mismatched = (any(not item.outputs_match for item in results)
-                  or any(not item.outputs_match for item in sweeps))
+                  or any(not item.outputs_match for item in sweeps)
+                  or any(not item.outputs_match for item in vn_sweeps))
     if mismatched:
         print("\nERROR: measured paths disagree — the batch plan is "
               "unsound here.")
@@ -469,6 +575,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="re-execute jobs even when their record exists")
     run.add_argument("-q", "--quiet", action="store_true",
                      help="suppress per-job progress lines")
+    run.add_argument("--dry-run", action="store_true",
+                     help="print the expanded job plan and a wall-time ETA "
+                          "(calibrated from the store's manifest) without "
+                          "executing anything")
+    run.add_argument("--calibrate-from", type=Path, default=None,
+                     help="manifest.json of a past run to fit the "
+                          "ms-per-cost-unit model from (--dry-run ETAs)")
     run.set_defaults(func=cmd_run)
 
     report = subparsers.add_parser(
@@ -479,6 +592,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "'evaluate --store'")
     report.add_argument("-o", "--output", type=Path, default=None,
                         help="also write the report to a file")
+    report.add_argument("--json", type=Path, nargs="?",
+                        const=Path("report.json"), default=None,
+                        help="write the machine-readable report (Fig. 6 + "
+                             "axis-sweep data with confidence intervals) as "
+                             "JSON (default path: report.json)")
     report.set_defaults(func=cmd_report)
 
     sim_bench = subparsers.add_parser(
@@ -495,6 +613,9 @@ def build_parser() -> argparse.ArgumentParser:
     sim_bench.add_argument("--vectors", type=int, default=256)
     sim_bench.add_argument("--keys", type=int, default=64,
                            help="key hypotheses per key-sweep comparison")
+    sim_bench.add_argument("--vn-vectors", type=int, default=512,
+                           help="shared vectors per sweep value-numbering "
+                                "comparison (64 keys x this many lanes)")
     sim_bench.add_argument("--scale", type=float, default=0.25,
                            help="benchmark scale of the built-in suite")
     sim_bench.add_argument("--repeats", type=int, default=3)

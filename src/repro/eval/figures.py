@@ -367,12 +367,22 @@ class AxisSweepData:
         values: The axis points, numerically sorted.
         kpa: ``{axis_value: {locker: mean KPA}}``.
         counts: ``{axis_value: {locker: number of attack records}}``.
+        kpa_ci: ``{axis_value: {locker: 95 % CI half-width}}`` of the cell
+            mean over its contributing records (0.0 for single-record
+            cells).  On a seed-swept scenario the records of a non-seed
+            cell differ by seed, so this is the seed-robustness interval
+            of the reported mean.
+        benchmark: Set when the sweep aggregates a single benchmark's
+            records (the per-(benchmark, axis) view); ``None`` for the
+            across-benchmarks aggregate.
     """
 
     axis: str
     values: List
     kpa: Dict
     counts: Dict
+    kpa_ci: Dict = field(default_factory=dict)
+    benchmark: Optional[str] = None
 
     def algorithms(self) -> List[str]:
         """Sorted locker names appearing anywhere on the axis."""
@@ -380,15 +390,35 @@ class AxisSweepData:
                        for algorithm in cells})
 
 
-def axis_sweeps_from_records(records) -> List[AxisSweepData]:
+def _ci95_half_width(values: Sequence[float]) -> float:
+    """95 % confidence half-width of the mean (normal approximation)."""
+    if len(values) < 2:
+        return 0.0
+    arr = np.asarray(values, dtype=float)
+    return float(1.96 * arr.std(ddof=1) / np.sqrt(arr.size))
+
+
+def axis_sweeps_from_records(records,
+                             per_benchmark: bool = False
+                             ) -> List[AxisSweepData]:
     """Aggregate swept attack records into one :class:`AxisSweepData` per axis.
 
     Only records carrying matrix-axis tags (the ``axes`` entry written by
     :func:`repro.api.runner.execute_job` for swept jobs) contribute; a store
     of a single-value scenario yields an empty list.  Nothing is
     re-simulated — this is a pure aggregation over stored KPA values.
+
+    Args:
+        records: Job records (e.g. ``store.records()``).
+        per_benchmark: Aggregate per (benchmark, axis) instead of per axis —
+            one sweep per benchmark, with :attr:`AxisSweepData.benchmark`
+            set, ordered by benchmark then axis.
+
+    Every cell also carries its 95 % confidence half-width
+    (:attr:`AxisSweepData.kpa_ci`), which on seed-swept scenarios measures
+    the seed robustness of the cell mean.
     """
-    grouped: Dict[str, Dict] = {}
+    grouped: Dict[tuple, Dict] = {}
     for record in records:
         if record.get("kind") != "attack":
             continue
@@ -397,15 +427,23 @@ def axis_sweeps_from_records(records) -> List[AxisSweepData]:
             kpa = float(record["result"]["kpa"])
         except (KeyError, TypeError, ValueError):
             continue
+        benchmark = str(record.get("benchmark", "?")) if per_benchmark \
+            else None
         for axis, value in axes.items():
-            cells = grouped.setdefault(axis, {}).setdefault(value, {})
+            cells = grouped.setdefault((benchmark, axis), {}) \
+                .setdefault(value, {})
             cells.setdefault(record.get("locker", "?"), []).append(kpa)
 
+    def axis_rank(axis: str) -> tuple:
+        if axis in AXIS_ORDER:
+            return (0, AXIS_ORDER.index(axis), axis)
+        return (1, 0, axis)
+
     sweeps: List[AxisSweepData] = []
-    ordered = [axis for axis in AXIS_ORDER if axis in grouped]
-    ordered += sorted(set(grouped) - set(AXIS_ORDER))
-    for axis in ordered:
-        by_value = grouped[axis]
+    for benchmark, axis in sorted(grouped,
+                                  key=lambda key: (key[0] or "",
+                                                   axis_rank(key[1]))):
+        by_value = grouped[(benchmark, axis)]
         values = sorted(by_value)
         kpa = {value: {algorithm: sum(vals) / len(vals)
                        for algorithm, vals in by_value[value].items()}
@@ -413,14 +451,20 @@ def axis_sweeps_from_records(records) -> List[AxisSweepData]:
         counts = {value: {algorithm: len(vals)
                           for algorithm, vals in by_value[value].items()}
                   for value in values}
+        kpa_ci = {value: {algorithm: _ci95_half_width(vals)
+                          for algorithm, vals in by_value[value].items()}
+                  for value in values}
         sweeps.append(AxisSweepData(axis=axis, values=values, kpa=kpa,
-                                    counts=counts))
+                                    counts=counts, kpa_ci=kpa_ci,
+                                    benchmark=benchmark))
     return sweeps
 
 
-def axis_sweeps_from_store(store) -> List[AxisSweepData]:
+def axis_sweeps_from_store(store,
+                           per_benchmark: bool = False) -> List[AxisSweepData]:
     """Per-axis sweep data straight from a results store (no re-simulation)."""
-    return axis_sweeps_from_records(store.records())
+    return axis_sweeps_from_records(store.records(),
+                                    per_benchmark=per_benchmark)
 
 
 #: KPA values reported by the paper (Fig. 6b) — used by EXPERIMENTS.md and by

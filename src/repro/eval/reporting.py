@@ -143,28 +143,14 @@ def experiment_report_from_store(store) -> str:
     return report_from_samples(store.kpa_samples(), algorithms=algorithms)
 
 
-def store_report(store) -> str:
-    """Render the full ``repro.cli report`` text for a results store.
-
-    Everything comes from disk — records, manifest, scenario stamp — and
-    nothing is re-simulated, so the report works long after the run, on a
-    different machine, and *degrades gracefully* on incomplete stores:
-
-    * a store whose run was interrupted before the manifest was written
-      falls back to the scenario stamp for the workload description,
-    * a partially filled store reports over the records it has and flags
-      the run as PARTIAL with the outstanding job count,
-    * sections render only when their data exists (KPA tables need attack
-      records, sweep tables need matrix axes, the timing table needs a
-      manifest).
+def store_context(store) -> tuple:
+    """Shared (manifest, scenario, records) loading of the store reports.
 
     Raises:
         StoreError: when the store has neither records nor a scenario stamp
             (i.e. it is not a results store at all).
     """
-    from ..api.store import StoreError, kpa_samples_from_records
-    from .figures import axis_sweeps_from_records
-    from .tables import axis_sweep_table_text, timing_table_text
+    from ..api.store import StoreError
 
     try:
         manifest = store.manifest()
@@ -187,6 +173,103 @@ def store_report(store) -> str:
         raise StoreError(
             f"{store.root} is not a results store: no job records, no "
             "manifest and no scenario stamp")
+    return manifest, scenario, records
+
+
+def store_report_json(store, context: Optional[tuple] = None) -> Dict:
+    """Machine-readable counterpart of :func:`store_report`.
+
+    Everything :func:`store_report` renders as text — the Fig. 6 KPA
+    tables, the per-axis and per-(benchmark, axis) sweep data with
+    confidence intervals, metric counts and the timing summaries — as one
+    JSON-serialisable dictionary, so downstream tooling (plotting, paper
+    tables, regression dashboards) can consume a store without scraping
+    the text report.  ``repro.cli report <store> --json`` writes it to
+    disk.
+
+    Args:
+        store: The results store to report on.
+        context: A ``(manifest, scenario, records)`` triple from a prior
+            :func:`store_context` call, so one disk read can feed both the
+            text and the JSON report; loaded from ``store`` when omitted.
+
+    Raises:
+        StoreError: when the store is not a results store at all.
+    """
+    from ..api.store import kpa_samples_from_records
+    from .figures import axis_sweeps_from_records
+
+    manifest, scenario, records = context if context is not None \
+        else store_context(store)
+    samples = kpa_samples_from_records(records)
+    per_benchmark, average = kpa_tables_from_samples(samples) \
+        if samples else ({}, {})
+
+    def sweep_payload(sweep) -> Dict:
+        return {
+            "axis": sweep.axis,
+            "benchmark": sweep.benchmark,
+            "algorithms": sweep.algorithms(),
+            "rows": [
+                {
+                    "value": value,
+                    "kpa": dict(sweep.kpa.get(value, {})),
+                    "ci95": dict(sweep.kpa_ci.get(value, {})),
+                    "counts": dict(sweep.counts.get(value, {})),
+                }
+                for value in sweep.values
+            ],
+        }
+
+    metric_counts: Dict[str, int] = {}
+    for record in records:
+        if record.get("kind") == "metric":
+            name = str(record.get("metric"))
+            metric_counts[name] = metric_counts.get(name, 0) + 1
+
+    return {
+        "store": str(store.root),
+        "scenario": scenario.to_dict() if scenario is not None else None,
+        "scenario_fingerprint": (scenario.fingerprint()
+                                 if scenario is not None else None),
+        "completion": store.completion(),
+        "figure6": {"per_benchmark": per_benchmark, "average": average},
+        "axis_sweeps": [sweep_payload(sweep) for sweep
+                        in axis_sweeps_from_records(records)],
+        "benchmark_axis_sweeps": [sweep_payload(sweep) for sweep
+                                  in axis_sweeps_from_records(
+                                      records, per_benchmark=True)],
+        "metric_records": metric_counts,
+        "timing": (manifest.get("jobs", [])
+                   if manifest is not None else []),
+    }
+
+
+def store_report(store, context: Optional[tuple] = None) -> str:
+    """Render the full ``repro.cli report`` text for a results store.
+
+    Everything comes from disk — records, manifest, scenario stamp — and
+    nothing is re-simulated, so the report works long after the run, on a
+    different machine, and *degrades gracefully* on incomplete stores:
+
+    * a store whose run was interrupted before the manifest was written
+      falls back to the scenario stamp for the workload description,
+    * a partially filled store reports over the records it has and flags
+      the run as PARTIAL with the outstanding job count,
+    * sections render only when their data exists (KPA tables need attack
+      records, sweep tables need matrix axes, the timing table needs a
+      manifest).
+
+    Raises:
+        StoreError: when the store has neither records nor a scenario stamp
+            (i.e. it is not a results store at all).
+    """
+    from ..api.store import kpa_samples_from_records
+    from .figures import axis_sweeps_from_records
+    from .tables import axis_sweep_table_text, timing_table_text
+
+    manifest, scenario, records = context if context is not None \
+        else store_context(store)
 
     parts: List[str] = [f"Results store: {store.root}"]
     if scenario is not None:
@@ -220,6 +303,15 @@ def store_report(store) -> str:
 
     for sweep in axis_sweeps_from_records(records):
         parts += ["", axis_sweep_table_text(sweep)]
+
+    # Per-(benchmark, axis) views add information only when the records
+    # span more than one benchmark; otherwise they would duplicate the
+    # aggregates above.
+    benchmarks = {record.get("benchmark") for record in records
+                  if record.get("kind") == "attack"}
+    if len(benchmarks) > 1:
+        for sweep in axis_sweeps_from_records(records, per_benchmark=True):
+            parts += ["", axis_sweep_table_text(sweep)]
 
     metric_counts: Dict[str, int] = {}
     for record in records:

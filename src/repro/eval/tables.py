@@ -83,6 +83,10 @@ def axis_sweep_table_text(sweep: "object",
                           algorithms: Optional[Sequence[str]] = None) -> str:
     """Render one per-axis sweep table (mean KPA per axis value × locker).
 
+    Cells with more than one contributing record render as
+    ``mean ±hw`` where ``hw`` is the 95 % confidence half-width of the
+    mean (the seed-robustness interval on seed-swept scenarios).
+
     Args:
         sweep: An :class:`~repro.eval.figures.AxisSweepData`.
         algorithms: Column order; defaults to the lockers present.
@@ -90,16 +94,27 @@ def axis_sweep_table_text(sweep: "object",
     if algorithms is None:
         algorithms = sweep.algorithms()
     headers = [sweep.axis] + [a.upper() for a in algorithms] + ["records"]
+
+    def cell(value: object, algorithm: str) -> object:
+        mean = sweep.kpa.get(value, {}).get(algorithm)
+        if mean is None:
+            return float("nan")
+        half = getattr(sweep, "kpa_ci", {}).get(value, {}).get(algorithm, 0.0)
+        if half > 0.0:
+            return f"{mean:.2f} ±{half:.2f}"
+        return mean
+
     rows = []
     for value in sweep.values:
-        cells = sweep.kpa.get(value, {})
         counts = sweep.counts.get(value, {})
         rows.append([value]
-                    + [cells.get(a, float("nan")) for a in algorithms]
+                    + [cell(value, a) for a in algorithms]
                     + [sum(counts.values())])
+    benchmark = getattr(sweep, "benchmark", None)
+    scope = f"{benchmark}, " if benchmark else ""
     return format_table(headers, rows,
                         title=f"Mean KPA (%) per {sweep.axis} "
-                              f"(scenario matrix axis)")
+                              f"({scope}scenario matrix axis)")
 
 
 def timing_table_text(job_summaries: Sequence[Mapping],

@@ -385,8 +385,11 @@ def avalanche_sensitivity(design, signal: Optional[str] = None,
     One input signal is held at a random base value while the remaining
     inputs take ``vectors`` random context values; every probed bit flip of
     the base value becomes one sweep point of a single
-    :meth:`~repro.sim.batch.BatchSimulator.run_sweep` pass — S single-bit-flip
-    points × V context lanes evaluate together instead of S batch calls.
+    :meth:`~repro.sim.plan.executor.BatchSimulator.run_sweep` pass — S
+    single-bit-flip points × V context lanes evaluate together instead of S
+    batch calls.  Because every point binds the *same* key, sweep
+    value-numbering treats the whole key cone as point-invariant: only the
+    probed signal's fan-out cone is re-evaluated per flip point.
     Locked designs are evaluated under their correct key (or ``key``), so the
     profile measures the *functional* avalanche of the design, not key
     corruption (see :func:`functional_corruption` for that).

@@ -1,12 +1,21 @@
 """Combinational RTL simulation: functional checks for locked designs.
 
-Two engines share one semantics:
+Two engines share one semantics *by construction*: both execute the same
+compiled :class:`EvalPlan` produced by the staged plan compiler in
+:mod:`repro.sim.plan` (IR → passes → executor).
 
-* :class:`CombinationalSimulator` — the scalar *reference oracle*: one input
-  vector at a time, interpreted over the AST.
+* :class:`CombinationalSimulator` — the scalar engine: one input vector at a
+  time, run as a lane-width-1 pass over the plan; the AST-walking
+  interpretation survives as the fallback for uncompilable constructs and as
+  the independent reference oracle (``engine="ast"``).
 * :class:`BatchSimulator` — the bit-parallel *fast path*: N vectors at once,
-  bit-sliced into Python integers and driven by a compiled
-  :class:`EvalPlan`.
+  bit-sliced into Python integers.
+
+The plan pipeline runs ordered, individually-toggleable passes — constant
+folding, common-subexpression elimination, **sweep value-numbering** (tag
+point-invariant steps so :meth:`BatchSimulator.run_sweep` evaluates them
+once per V-lane base batch instead of once per S×V sweep lane), and
+dead-step pruning — each reported as a step delta in ``plan.stats``.
 
 Both validate the locking contract — with the correct key the locked design
 is functionally equivalent to the original, with a wrong key the outputs are
@@ -28,17 +37,22 @@ On top of per-vector batching, three layers serve the attack-side hot loops:
 :mod:`repro.sim.bench` measures the speedups.
 """
 
-from .batch import (
+from .evaluator import ExpressionEvaluator, SimulationError, mask
+from .plan import (
+    PASS_ORDER,
     BatchCompileError,
     BatchSimulator,
     EvalPlan,
+    PassDelta,
+    PassManager,
     PlanStats,
+    Step,
     compile_plan,
     differing_lanes,
     pack_values,
+    run_plan_vector,
     unpack_values,
 )
-from .evaluator import ExpressionEvaluator, SimulationError, mask
 from .plan_cache import (
     PlanCacheInfo,
     cached_simulator,
@@ -76,13 +90,18 @@ __all__ = [
     "output_corruption",
     "key_sweep",
     "ENGINES",
+    "PASS_ORDER",
     "BatchCompileError",
     "BatchSimulator",
     "EvalPlan",
+    "PassDelta",
+    "PassManager",
     "PlanStats",
+    "Step",
     "compile_plan",
     "differing_lanes",
     "pack_values",
+    "run_plan_vector",
     "unpack_values",
     "PlanCacheInfo",
     "cached_simulator",

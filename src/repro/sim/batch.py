@@ -1,1246 +1,68 @@
-"""Bit-parallel batch simulation of (locked) combinational designs.
+"""Bit-parallel batch simulation — compatibility surface of ``repro.sim.plan``.
 
-:class:`BatchSimulator` evaluates N input vectors at once by *bit-slicing*:
-every signal is represented as one Python integer per bit position, where bit
-``k`` of slice ``i`` carries bit ``i`` of the signal's value in vector lane
-``k``.  A single word-level bitwise operation then advances all N lanes at
-once, so the per-vector interpretation overhead of
-:class:`~repro.sim.simulator.CombinationalSimulator` is paid once per *batch*
-instead of once per vector.  Python integers are arbitrary precision, so one
-slice holds 64, 256 or 10 000 lanes alike.
+The historical batch-engine monolith now lives in the staged plan-compiler
+package :mod:`repro.sim.plan`:
 
-The design is compiled once into an :class:`EvalPlan` — a flat, topologically
-ordered list of slot assignments whose expressions have been translated into
-closures over bit-slice ALU primitives (ripple-carry add, shift-and-add
-multiply, restoring division, barrel shifters, mask-select muxes).  Repeated
-calls with different keys or inputs reuse the same plan, which is the hot
-pattern of key trials, corruption profiling and equivalence sweeps;
-:mod:`repro.sim.plan_cache` extends the reuse process-wide.  Compilation
-runs two value-neutral plan optimisations: subexpressions occurring more
-than once become shared ``$cseN`` steps evaluated once per pass, and steps
-no combinational output transitively reads are pruned (``plan.stats``).
+* :mod:`repro.sim.plan.steps` — the plan IR (typed steps, ``EvalPlan``,
+  ``PlanStats``),
+* :mod:`repro.sim.plan.passes` — the pass pipeline (constant folding, CSE,
+  sweep value-numbering, lowering, dead-step pruning) behind
+  :func:`compile_plan`,
+* :mod:`repro.sim.plan.lowering` — AST → bit-slice closure compilation,
+* :mod:`repro.sim.plan.executor` — the ALU kernels, lane packers and
+  :class:`BatchSimulator`.
 
-Batching composes across two axes: :meth:`BatchSimulator.run_batch` packs N
-input vectors into the lanes of one pass, and
-:meth:`BatchSimulator.run_sweep` additionally lays S sweep points — each
-binding its own key and/or designated input values — side by side, so
-``S * V`` (key, input) combinations evaluate in a single pass instead of S
-batch calls.
-
-Semantics are **bit-identical** to the scalar evaluator: unsigned two-valued
-logic, a 32-bit working width for binary/unary results, division by zero
-evaluating to 0, and the same operand-width rules for reductions, concats and
-selects.  The scalar simulator remains the reference oracle; the cross-check
-suite in ``tests/sim/test_batch_simulator.py`` pins the two engines against
-each other on random designs, keys and widths.
-
-Constructs the scalar engine resolves dynamically but a compiled plan cannot
-(replication counts, part-select bounds or shift networks driven by values
-that are only known per lane) raise :class:`BatchCompileError`; callers such
-as :func:`repro.sim.simulator.check_equivalence` fall back to the scalar
-engine in that case.
+Every name that was importable from ``repro.sim.batch`` still is; new code
+should import from :mod:`repro.sim` or :mod:`repro.sim.plan` directly.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
-from typing import (Callable, Dict, FrozenSet, Iterable, List, Mapping,
-                    Optional, Sequence, Set, Tuple)
-
-from ..rtlir.design import Design
-from ..verilog import ast_nodes as ast
-from .evaluator import SimulationError, mask
-from .simulator import _declared_widths, _ordered_assignments
-
-#: Working width of intermediate results (mirrors ExpressionEvaluator).
-WORKING_WIDTH = 32
-
-#: A bit-sliced value: slice ``i`` holds bit ``i`` of every lane.
-Slices = List[int]
-
-#: A compiled expression: ``fn(env, full) -> slices`` where ``full`` is the
-#: all-lanes-set mask of the current batch.
-CompiledExpr = Callable[[Dict[str, Slices], int], Slices]
-
-
-class BatchCompileError(SimulationError):
-    """Raised when an expression cannot be compiled to a bit-slice plan."""
-
-
-# ---------------------------------------------------------------------------
-# Bit-slice ALU primitives
-# ---------------------------------------------------------------------------
-# Every primitive treats missing high slices as zero and never mutates its
-# operands; all produced slices are masked to the batch's lane mask ``full``.
-
-
-def _fit(value: Slices, width: int) -> Slices:
-    """Truncate or zero-extend ``value`` to exactly ``width`` slices."""
-    if len(value) == width:
-        return value
-    if len(value) > width:
-        return value[:width]
-    return value + [0] * (width - len(value))
-
-
-def _add(a: Slices, b: Slices, n: int, carry: int = 0) -> Slices:
-    """Ripple-carry ``(a + b + carry) mod 2**n`` over all lanes."""
-    out: Slices = []
-    c = carry
-    la, lb = len(a), len(b)
-    for i in range(n):
-        ai = a[i] if i < la else 0
-        bi = b[i] if i < lb else 0
-        axb = ai ^ bi
-        out.append(axb ^ c)
-        c = (ai & bi) | (c & axb)
-    return out
-
-
-def _sub(a: Slices, b: Slices, n: int, full: int) -> Slices:
-    """``(a - b) mod 2**n`` via ``a + ~b + 1`` over all lanes."""
-    out: Slices = []
-    c = full
-    la, lb = len(a), len(b)
-    for i in range(n):
-        ai = a[i] if i < la else 0
-        bi = (b[i] ^ full) if i < lb else full
-        axb = ai ^ bi
-        out.append(axb ^ c)
-        c = (ai & bi) | (c & axb)
-    return out
-
-
-def _mul(a: Slices, b: Slices, n: int) -> Slices:
-    """Shift-and-add ``(a * b) mod 2**n``; all-zero partials are skipped."""
-    out = [0] * n
-    la = len(a)
-    for j, bj in enumerate(b):
-        if j >= n:
-            break
-        if bj == 0:
-            continue
-        c = 0
-        for i in range(j, n):
-            ai = a[i - j] if i - j < la else 0
-            p = ai & bj
-            axb = out[i] ^ p
-            s = axb ^ c
-            c = (out[i] & p) | (c & axb)
-            out[i] = s
-    return out
-
-
-def _divmod(a: Slices, b: Slices, full: int) -> Tuple[Slices, Slices]:
-    """Restoring division; lanes dividing by zero yield quotient/remainder 0."""
-    n, nb = len(a), len(b)
-    nonzero = 0
-    for s in b:
-        nonzero |= s
-    if n == 0 or nb == 0 or nonzero == 0:
-        return [0] * n, [0] * nb
-    remainder = [0] * (nb + 1)
-    quotient = [0] * n
-    for i in range(n - 1, -1, -1):
-        remainder = [a[i]] + remainder[:nb]
-        trial = _sub(remainder, b, nb + 1, full)
-        no_borrow = trial[nb] ^ full
-        quotient[i] = no_borrow & nonzero
-        keep = no_borrow ^ full
-        remainder = [(t & no_borrow) | (r & keep)
-                     for t, r in zip(trial, remainder)]
-    return quotient, [s & nonzero for s in remainder[:nb]]
-
-
-def _less_than(a: Slices, b: Slices, full: int) -> int:
-    """Per-lane ``a < b`` mask (sign of the widened subtraction)."""
-    n = max(len(a), len(b)) + 1
-    return _sub(a, b, n, full)[n - 1]
-
-
-def _equal(a: Slices, b: Slices, full: int) -> int:
-    """Per-lane ``a == b`` mask."""
-    diff = 0
-    la, lb = len(a), len(b)
-    for i in range(max(la, lb)):
-        ai = a[i] if i < la else 0
-        bi = b[i] if i < lb else 0
-        diff |= ai ^ bi
-    return diff ^ full
-
-
-def _nonzero(a: Slices) -> int:
-    """Per-lane ``a != 0`` mask."""
-    acc = 0
-    for s in a:
-        acc |= s
-    return acc
-
-
-def _mux(cond: int, true_value: Slices, false_value: Slices,
-         full: int) -> Slices:
-    """Lane-select ``cond ? true_value : false_value``."""
-    n = max(len(true_value), len(false_value))
-    inv = cond ^ full
-    lt, lf = len(true_value), len(false_value)
-    return [((true_value[i] if i < lt else 0) & cond)
-            | ((false_value[i] if i < lf else 0) & inv)
-            for i in range(n)]
-
-
-def _shift_left_var(a: Slices, amount: Slices, n: int, full: int) -> Slices:
-    """Barrel shifter: ``(a << amount) mod 2**n`` with per-lane amounts."""
-    cur = _fit(a, n)
-    kill = 0
-    for k, s in enumerate(amount):
-        if (1 << k) >= n:
-            kill |= s
-            continue
-        if s == 0:
-            continue
-        sh = 1 << k
-        inv = s ^ full
-        cur = [((cur[i - sh] if i >= sh else 0) & s) | (cur[i] & inv)
-               for i in range(n)]
-    if kill:
-        keep = kill ^ full
-        cur = [c & keep for c in cur]
-    return cur
-
-
-def _shift_right_var(a: Slices, amount: Slices, full: int) -> Slices:
-    """Barrel shifter: ``a >> amount`` with per-lane amounts."""
-    n = len(a)
-    if n == 0:
-        return []
-    cur = list(a)
-    kill = 0
-    for k, s in enumerate(amount):
-        if (1 << k) >= n:
-            kill |= s
-            continue
-        if s == 0:
-            continue
-        sh = 1 << k
-        inv = s ^ full
-        cur = [((cur[i + sh] if i + sh < n else 0) & s) | (cur[i] & inv)
-               for i in range(n)]
-    if kill:
-        keep = kill ^ full
-        cur = [c & keep for c in cur]
-    return cur
-
-
-# ---------------------------------------------------------------------------
-# Structural subexpression identity (common-subexpression elimination)
-# ---------------------------------------------------------------------------
-
-#: Expression node types worth hoisting into a shared plan step.  Identifier
-#: and constant reads are excluded: sharing them saves nothing over the
-#: direct read/materialise closure.
-_HOISTABLE = (ast.BinaryOp, ast.UnaryOp, ast.TernaryOp, ast.Concat,
-              ast.Replication, ast.BitSelect, ast.PartSelect,
-              ast.IndexedPartSelect)
-
-
-def _structural_key(expr: ast.Expression, memo: Dict[int, tuple]) -> tuple:
-    """Structural identity of ``expr``: equal keys compile to equal values.
-
-    Keys are built bottom-up and memoized by node id, so walking a whole
-    design costs one visit per AST node.  Node types the compiler does not
-    know are keyed by identity — they never alias anything.
-    """
-    key = memo.get(id(expr))
-    if key is not None:
-        return key
-    if isinstance(expr, ast.Identifier):
-        key = ("id", expr.name)
-    elif isinstance(expr, ast.IntConst):
-        key = ("const", expr.value)
-    elif isinstance(expr, ast.UnaryOp):
-        key = ("un", expr.op, _structural_key(expr.operand, memo))
-    elif isinstance(expr, ast.BinaryOp):
-        key = ("bin", expr.op, _structural_key(expr.left, memo),
-               _structural_key(expr.right, memo))
-    elif isinstance(expr, ast.TernaryOp):
-        key = ("tern", _structural_key(expr.cond, memo),
-               _structural_key(expr.true_value, memo),
-               _structural_key(expr.false_value, memo))
-    elif isinstance(expr, ast.Concat):
-        key = ("cat",) + tuple(_structural_key(part, memo)
-                               for part in expr.parts)
-    elif isinstance(expr, ast.Replication):
-        key = ("rep", _structural_key(expr.count, memo),
-               _structural_key(expr.value, memo))
-    elif isinstance(expr, ast.BitSelect):
-        key = ("bit", _structural_key(expr.target, memo),
-               _structural_key(expr.index, memo))
-    elif isinstance(expr, ast.PartSelect):
-        key = ("part", _structural_key(expr.target, memo),
-               _structural_key(expr.msb, memo),
-               _structural_key(expr.lsb, memo))
-    elif isinstance(expr, ast.IndexedPartSelect):
-        key = ("ipart", expr.direction, _structural_key(expr.target, memo),
-               _structural_key(expr.base, memo),
-               _structural_key(expr.width, memo))
-    else:
-        key = ("opaque", id(expr))
-    memo[id(expr)] = key
-    return key
-
-
-def _shared_subexpressions(exprs: Iterable[ast.Expression]) -> FrozenSet[tuple]:
-    """Structural keys of hoistable subexpressions occurring more than once."""
-    memo: Dict[int, tuple] = {}
-    counts: Dict[tuple, int] = {}
-    for expr in exprs:
-        for node in expr.iter_tree():
-            if isinstance(node, _HOISTABLE):
-                key = _structural_key(node, memo)
-                counts[key] = counts.get(key, 0) + 1
-    return frozenset(key for key, count in counts.items() if count > 1)
-
-
-# ---------------------------------------------------------------------------
-# Expression compilation
-# ---------------------------------------------------------------------------
-
-
-class _Compiler:
-    """Translates AST expressions into bit-slice closures.
-
-    Width bookkeeping happens at compile time: every compiled expression
-    carries the exact number of slices it produces, so the runtime never
-    touches slices that are provably zero.
-
-    When ``shared`` structural keys are supplied, every subexpression whose
-    key is shared is compiled exactly once into a synthetic ``$cseN`` plan
-    step; further occurrences become slot reads.  The compiler also records,
-    per emitted step, the set of signal/slot names its closure reads — the
-    dependency edges the dead-step pruning pass walks.
-    """
-
-    def __init__(self, widths: Mapping[str, int],
-                 default_width: int = WORKING_WIDTH,
-                 shared: FrozenSet[tuple] = frozenset()) -> None:
-        self.widths = dict(widths)
-        self.default_width = default_width
-        self.shared = shared
-        self._key_memo: Dict[int, tuple] = {}
-        self._cse_slots: Dict[tuple, Tuple[str, int]] = {}
-        self._pending_steps: List[Tuple[str, int, CompiledExpr, Set[str]]] = []
-        self._dep_stack: List[Set[str]] = []
-
-    def width_of(self, name: str) -> int:
-        return self.widths.get(name, self.default_width)
-
-    @property
-    def cse_slot_count(self) -> int:
-        """Number of shared-subexpression slots emitted so far."""
-        return len(self._cse_slots)
-
-    def _record_dep(self, name: str) -> None:
-        if self._dep_stack:
-            self._dep_stack[-1].add(name)
-
-    def compile_step(self, expr: ast.Expression
-                     ) -> Tuple[CompiledExpr, int, Set[str]]:
-        """Compile a top-level assignment: ``(closure, width, read names)``."""
-        self._dep_stack.append(set())
-        fn, width = self.compile(expr)
-        return fn, width, self._dep_stack.pop()
-
-    def take_pending_steps(self) -> List[Tuple[str, int, CompiledExpr, Set[str]]]:
-        """Drain CSE steps emitted since the last call (in dependency order)."""
-        pending, self._pending_steps = self._pending_steps, []
-        return pending
-
-    def compile(self, expr: ast.Expression) -> Tuple[CompiledExpr, int]:
-        """Return ``(closure, width)`` for ``expr``.
-
-        Raises:
-            BatchCompileError: for constructs the plan cannot express
-                statically (the caller falls back to the scalar engine).
-        """
-        if self.shared and isinstance(expr, _HOISTABLE):
-            key = _structural_key(expr, self._key_memo)
-            if key in self.shared:
-                slot_info = self._cse_slots.get(key)
-                if slot_info is None:
-                    self._dep_stack.append(set())
-                    fn, width = self._compile(expr)
-                    deps = self._dep_stack.pop()
-                    slot = f"$cse{len(self._cse_slots)}"
-                    self.widths[slot] = width
-                    slot_info = (slot, width)
-                    self._cse_slots[key] = slot_info
-                    self._pending_steps.append((slot, width, fn, deps))
-                slot, width = slot_info
-                self._record_dep(slot)
-
-                def read_slot(env: Dict[str, Slices], full: int,
-                              _name: str = slot) -> Slices:
-                    return env[_name]
-
-                return read_slot, width
-        return self._compile(expr)
-
-    def _compile(self, expr: ast.Expression) -> Tuple[CompiledExpr, int]:
-        working = max(self.default_width, 1)
-
-        if isinstance(expr, ast.Identifier):
-            name = expr.name
-            width = self.width_of(name)
-            self._record_dep(name)
-
-            def read(env: Dict[str, Slices], full: int,
-                     _name: str = name) -> Slices:
-                try:
-                    return env[_name]
-                except KeyError:
-                    raise SimulationError(f"signal {_name!r} has no value")
-
-            return read, width
-
-        if isinstance(expr, ast.IntConst):
-            try:
-                value = expr.as_int()
-            except ValueError as exc:
-                raise BatchCompileError(str(exc)) from exc
-            bits = [(value >> i) & 1 for i in range(value.bit_length())]
-
-            def const(env: Dict[str, Slices], full: int,
-                      _bits: List[int] = bits) -> Slices:
-                return [full if b else 0 for b in _bits]
-
-            return const, len(bits)
-
-        if isinstance(expr, ast.BinaryOp):
-            return self._compile_binary(expr, working)
-        if isinstance(expr, ast.UnaryOp):
-            return self._compile_unary(expr, working)
-
-        if isinstance(expr, ast.TernaryOp):
-            cond, _ = self.compile(expr.cond)
-            true_fn, wt = self.compile(expr.true_value)
-            false_fn, wf = self.compile(expr.false_value)
-
-            def ternary(env: Dict[str, Slices], full: int) -> Slices:
-                m = _nonzero(cond(env, full))
-                return _mux(m, true_fn(env, full), false_fn(env, full), full)
-
-            return ternary, max(wt, wf)
-
-        if isinstance(expr, ast.Concat):
-            parts = []
-            total = 0
-            for part in expr.parts:
-                fn, _ = self.compile(part)
-                pw = self._operand_width(part)
-                parts.append((fn, pw))
-                total += pw
-
-            def concat(env: Dict[str, Slices], full: int) -> Slices:
-                out: Slices = []
-                for fn, pw in reversed(parts):
-                    out.extend(_fit(fn(env, full), pw))
-                return out
-
-            return concat, total
-
-        if isinstance(expr, ast.Replication):
-            count = _static_int(expr.count)
-            if count is None:
-                raise BatchCompileError(
-                    "replication count is not a static constant")
-            fn, _ = self.compile(expr.value)
-            pw = self._operand_width(expr.value)
-
-            def replicate(env: Dict[str, Slices], full: int) -> Slices:
-                part = _fit(fn(env, full), pw)
-                return part * count
-
-            return replicate, count * pw
-
-        if isinstance(expr, ast.BitSelect):
-            target_fn, wt = self.compile(expr.target)
-            index = _static_int(expr.index)
-            if index is not None:
-
-                def bit_static(env: Dict[str, Slices], full: int,
-                               _i: int = index) -> Slices:
-                    value = target_fn(env, full)
-                    return [value[_i]] if _i < len(value) else [0]
-
-                return bit_static, 1
-
-            index_fn, _ = self.compile(expr.index)
-            self._check_shift_width(wt)
-
-            def bit_dynamic(env: Dict[str, Slices], full: int) -> Slices:
-                shifted = _shift_right_var(target_fn(env, full),
-                                           index_fn(env, full), full)
-                return [shifted[0]] if shifted else [0]
-
-            return bit_dynamic, 1
-
-        if isinstance(expr, ast.PartSelect):
-            msb = _static_int(expr.msb)
-            lsb = _static_int(expr.lsb)
-            if msb is None or lsb is None:
-                raise BatchCompileError(
-                    "part-select bounds are not static constants")
-            if msb < lsb:
-                msb, lsb = lsb, msb
-            width = msb - lsb + 1
-            target_fn, _ = self.compile(expr.target)
-
-            def part(env: Dict[str, Slices], full: int) -> Slices:
-                value = target_fn(env, full)
-                return [value[i] if i < len(value) else 0
-                        for i in range(lsb, msb + 1)]
-
-            return part, width
-
-        if isinstance(expr, ast.IndexedPartSelect):
-            base = _static_int(expr.base)
-            width = _static_int(expr.width)
-            if base is None or width is None:
-                raise BatchCompileError(
-                    "indexed part-select bounds are not static constants")
-            lsb = base if expr.direction == "+:" else base - width + 1
-            lsb = max(lsb, 0)
-            target_fn, _ = self.compile(expr.target)
-
-            def indexed(env: Dict[str, Slices], full: int) -> Slices:
-                value = target_fn(env, full)
-                return [value[i] if i < len(value) else 0
-                        for i in range(lsb, lsb + width)]
-
-            return indexed, width
-
-        raise BatchCompileError(
-            f"cannot compile expression of type {type(expr).__name__}")
-
-    # ------------------------------------------------------------- binary ops
-
-    def _compile_binary(self, expr: ast.BinaryOp,
-                        working: int) -> Tuple[CompiledExpr, int]:
-        op = expr.op
-        left_fn, wl = self.compile(expr.left)
-        right_fn, wr = self.compile(expr.right)
-
-        if op == "+":
-            n = min(working, max(wl, wr) + 1)
-
-            def add(env: Dict[str, Slices], full: int) -> Slices:
-                return _add(left_fn(env, full), right_fn(env, full), n)
-
-            return add, n
-
-        if op == "-":
-            # mask(a - b, working) equals the (max+1)-bit difference
-            # sign-extended to the working width; the extension slices share
-            # one integer object, so the ripple stays short.
-            m = min(working, max(wl, wr) + 1)
-
-            def sub(env: Dict[str, Slices], full: int) -> Slices:
-                low = _sub(left_fn(env, full), right_fn(env, full), m, full)
-                return low + [low[m - 1]] * (working - m)
-
-            return sub, working
-
-        if op == "*":
-            n = min(working, wl + wr)
-
-            def mul(env: Dict[str, Slices], full: int) -> Slices:
-                return _mul(left_fn(env, full), right_fn(env, full), n)
-
-            return mul, n
-
-        if op in ("/", "%"):
-            want_quotient = op == "/"
-            n = min(wl, working) if want_quotient else min(wl, wr, working)
-
-            def div(env: Dict[str, Slices], full: int) -> Slices:
-                q, r = _divmod(left_fn(env, full), right_fn(env, full), full)
-                return _fit(q if want_quotient else r, n)
-
-            return div, n
-
-        if op == "**":
-            return self._compile_power(left_fn, right_fn, wr, working)
-
-        if op in ("<<", "<<<"):
-            static = _static_int(expr.right)
-            if static is not None:
-                shift = min(static, 4 * working)
-                n = min(working, wl + shift)
-
-                def shl_static(env: Dict[str, Slices], full: int) -> Slices:
-                    return _fit([0] * shift + left_fn(env, full), n)
-
-                return shl_static, n
-
-            def shl(env: Dict[str, Slices], full: int) -> Slices:
-                return _shift_left_var(left_fn(env, full),
-                                       right_fn(env, full), working, full)
-
-            return shl, working
-
-        if op in (">>", ">>>"):
-            static = _static_int(expr.right)
-            if static is not None:
-                shift = min(static, 4 * working)
-                n = max(0, min(wl - shift, working))
-
-                def shr_static(env: Dict[str, Slices], full: int) -> Slices:
-                    return _fit(left_fn(env, full)[shift:], n)
-
-                return shr_static, n
-
-            self._check_shift_width(wl)
-
-            def shr(env: Dict[str, Slices], full: int) -> Slices:
-                return _fit(_shift_right_var(left_fn(env, full),
-                                             right_fn(env, full), full),
-                            min(wl, working))
-
-            return shr, min(wl, working)
-
-        if op in ("&", "|", "^"):
-            n = min(working, min(wl, wr) if op == "&" else max(wl, wr))
-            word = {"&": lambda x, y: x & y,
-                    "|": lambda x, y: x | y,
-                    "^": lambda x, y: x ^ y}[op]
-
-            def bitwise(env: Dict[str, Slices], full: int) -> Slices:
-                a = left_fn(env, full)
-                b = right_fn(env, full)
-                la, lb = len(a), len(b)
-                return [word(a[i] if i < la else 0, b[i] if i < lb else 0)
-                        for i in range(n)]
-
-            return bitwise, n
-
-        if op in ("~^", "^~"):
-            def xnor(env: Dict[str, Slices], full: int) -> Slices:
-                a = left_fn(env, full)
-                b = right_fn(env, full)
-                la, lb = len(a), len(b)
-                return [((a[i] if i < la else 0) ^ (b[i] if i < lb else 0)
-                         ^ full)
-                        for i in range(working)]
-
-            return xnor, working
-
-        if op in ("<", ">", "<=", ">="):
-            swapped = op in (">", "<=")
-            inverted = op in ("<=", ">=")
-
-            def relational(env: Dict[str, Slices], full: int) -> Slices:
-                a = left_fn(env, full)
-                b = right_fn(env, full)
-                if swapped:
-                    a, b = b, a
-                m = _less_than(a, b, full)
-                return [m ^ full if inverted else m]
-
-            return relational, 1
-
-        if op in ("==", "===", "!=", "!=="):
-            negate = op in ("!=", "!==")
-
-            def equality(env: Dict[str, Slices], full: int) -> Slices:
-                m = _equal(left_fn(env, full), right_fn(env, full), full)
-                return [m ^ full if negate else m]
-
-            return equality, 1
-
-        if op in ("&&", "||"):
-            is_and = op == "&&"
-
-            def logical(env: Dict[str, Slices], full: int) -> Slices:
-                a = _nonzero(left_fn(env, full))
-                b = _nonzero(right_fn(env, full))
-                return [a & b if is_and else a | b]
-
-            return logical, 1
-
-        raise BatchCompileError(f"unsupported binary operator {op!r}")
-
-    def _compile_power(self, left_fn: CompiledExpr, right_fn: CompiledExpr,
-                       wr: int, working: int) -> Tuple[CompiledExpr, int]:
-        """``pow(left, min(right, 64), 2**working)`` by square-and-multiply."""
-
-        def power(env: Dict[str, Slices], full: int) -> Slices:
-            base = _fit(left_fn(env, full), working)
-            exponent = right_fn(env, full)
-            # Lanes with exponent >= 64 clamp to exactly 64 (bit 6 only).
-            ge64 = 0
-            for s in exponent[6:]:
-                ge64 |= s
-            keep = ge64 ^ full
-            bits = [(exponent[k] if k < len(exponent) else 0) & keep
-                    for k in range(6)] + [ge64]
-            one = [full]
-            result = _fit(one, working)
-            square = base
-            for k, bit in enumerate(bits):
-                if bit:
-                    factor = _mux(bit, square, one, full)
-                    result = _mul(result, factor, working)
-                if k + 1 < len(bits):
-                    square = _mul(square, square, working)
-            return result
-
-        return power, working
-
-    # -------------------------------------------------------------- unary ops
-
-    def _compile_unary(self, expr: ast.UnaryOp,
-                       working: int) -> Tuple[CompiledExpr, int]:
-        op = expr.op
-        operand_fn, _ = self.compile(expr.operand)
-        operand_width = self._operand_width(expr.operand)
-
-        if op == "+":
-            def plus(env: Dict[str, Slices], full: int) -> Slices:
-                return _fit(operand_fn(env, full), working)
-
-            return plus, working
-
-        if op == "-":
-            zero: Slices = []
-
-            def minus(env: Dict[str, Slices], full: int) -> Slices:
-                return _sub(zero, operand_fn(env, full), working, full)
-
-            return minus, working
-
-        if op == "~":
-            def invert(env: Dict[str, Slices], full: int) -> Slices:
-                value = operand_fn(env, full)
-                lv = len(value)
-                return [(value[i] ^ full) if i < lv else full
-                        for i in range(working)]
-
-            return invert, working
-
-        if op == "!":
-            def logical_not(env: Dict[str, Slices], full: int) -> Slices:
-                return [_nonzero(operand_fn(env, full)) ^ full]
-
-            return logical_not, 1
-
-        if op in ("&", "~&"):
-            negate = op == "~&"
-
-            def reduce_and(env: Dict[str, Slices], full: int) -> Slices:
-                value = operand_fn(env, full)
-                lv = len(value)
-                # operand == mask(-1, operand_width): low bits all ones AND
-                # no set bit above the operand width.
-                acc = full
-                for i in range(operand_width):
-                    acc &= value[i] if i < lv else 0
-                high = 0
-                for i in range(operand_width, lv):
-                    high |= value[i]
-                m = acc & (high ^ full)
-                return [m ^ full if negate else m]
-
-            return reduce_and, 1
-
-        if op in ("|", "~|"):
-            negate = op == "~|"
-
-            def reduce_or(env: Dict[str, Slices], full: int) -> Slices:
-                m = _nonzero(operand_fn(env, full))
-                return [m ^ full if negate else m]
-
-            return reduce_or, 1
-
-        if op in ("^", "~^", "^~"):
-            negate = op != "^"
-
-            def reduce_xor(env: Dict[str, Slices], full: int) -> Slices:
-                value = operand_fn(env, full)
-                lv = len(value)
-                acc = 0
-                for i in range(operand_width):
-                    if i < lv:
-                        acc ^= value[i]
-                return [acc ^ full if negate else acc]
-
-            return reduce_xor, 1
-
-        raise BatchCompileError(f"unsupported unary operator {op!r}")
-
-    # -------------------------------------------------------------- utilities
-
-    def _operand_width(self, expr: ast.Expression) -> int:
-        """Static operand width (mirrors ExpressionEvaluator._operand_width)."""
-        if isinstance(expr, ast.Identifier):
-            return self.width_of(expr.name)
-        if isinstance(expr, ast.IntConst) and expr.width is not None:
-            return expr.width
-        if isinstance(expr, ast.BitSelect):
-            return 1
-        if isinstance(expr, ast.PartSelect):
-            try:
-                msb = expr.msb.as_int()
-                lsb = expr.lsb.as_int()
-                return abs(msb - lsb) + 1
-            except (AttributeError, ValueError):
-                return self.default_width
-        return self.default_width
-
-    def _check_shift_width(self, width: int) -> None:
-        if width > 4 * self.default_width:
-            raise BatchCompileError(
-                "variable shift over a value wider than the shift clamp")
-
-
-def _static_int(expr: ast.Expression) -> Optional[int]:
-    """Return the compile-time value of a constant expression, else None."""
-    if isinstance(expr, ast.IntConst):
-        try:
-            return expr.as_int()
-        except ValueError:
-            return None
-    return None
-
-
-# ---------------------------------------------------------------------------
-# Evaluation plan
-# ---------------------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class PlanStats:
-    """Optimisation statistics of one :func:`compile_plan` run.
-
-    Attributes:
-        steps: Steps in the final plan (shared-subexpression slots included).
-        cse_steps: Synthetic ``$cseN`` steps emitted for subexpressions that
-            occur more than once (before pruning).
-        pruned_steps: Steps removed because no combinational output depends
-            on them (dead assignments and unused CSE slots alike).
-    """
-
-    steps: int = 0
-    cse_steps: int = 0
-    pruned_steps: int = 0
-
-
-@dataclass
-class EvalPlan:
-    """A design compiled for bit-parallel evaluation.
-
-    Attributes:
-        steps: Topologically ordered ``(signal, width, closure)`` triples.
-        inputs: Primary input names (key port included when locked).
-        outputs: Combinational output names in declaration order.
-        widths: Declared signal widths.
-        key_port: Name of the key input port, if any.
-        stats: Shared-subexpression / dead-step statistics of the compile.
-    """
-
-    steps: List[Tuple[str, int, CompiledExpr]]
-    inputs: List[str]
-    outputs: List[str]
-    widths: Dict[str, int]
-    key_port: Optional[str]
-    stats: PlanStats = field(default_factory=PlanStats)
-
-    def width_of(self, name: str) -> int:
-        """Declared width of a signal (working width when unknown)."""
-        return self.widths.get(name, WORKING_WIDTH)
-
-
-def compile_plan(design: Design, cse: bool = True,
-                 prune: bool = True) -> EvalPlan:
-    """Compile ``design`` into an :class:`EvalPlan`.
-
-    Args:
-        design: The design to compile.
-        cse: Hoist subexpressions that occur more than once into shared
-            ``$cseN`` steps, each evaluated once per pass.  Values are
-            bit-identical either way — every compiled closure produces
-            exactly its declared slice count, so a slot read reproduces the
-            inline result.
-        prune: Drop steps no combinational output transitively reads.
-
-    Raises:
-        SimulationError: for combinational dependency cycles.
-        BatchCompileError: for constructs the plan cannot express statically.
-    """
-    module = design.top
-    widths = _declared_widths(module)
-    assignments = _ordered_assignments(module)
-    shared = _shared_subexpressions(expr for _, expr in assignments) \
-        if cse else frozenset()
-    compiler = _Compiler(widths, shared=shared)
-    inputs = [port.name for port in module.ports if port.direction == "input"]
-    output_ports = [port.name for port in module.ports
-                    if port.direction == "output"]
-
-    raw_steps: List[Tuple[str, int, CompiledExpr, Set[str]]] = []
-    driven = set()
-    for name, expr in assignments:
-        fn, _, deps = compiler.compile_step(expr)
-        raw_steps.extend(compiler.take_pending_steps())
-        raw_steps.append((name, compiler.width_of(name), fn, deps))
-        driven.add(name)
-
-    outputs = [name for name in output_ports if name in driven]
-    pruned = 0
-    if prune:
-        live: Set[str] = set(outputs)
-        kept: List[Tuple[str, int, CompiledExpr]] = []
-        for name, width, fn, deps in reversed(raw_steps):
-            if name in live:
-                kept.append((name, width, fn))
-                live.update(deps)
-            else:
-                pruned += 1
-        steps = kept[::-1]
-    else:
-        steps = [(name, width, fn) for name, width, fn, _ in raw_steps]
-
-    stats = PlanStats(steps=len(steps), cse_steps=compiler.cse_slot_count,
-                      pruned_steps=pruned)
-    return EvalPlan(steps=steps, inputs=inputs, outputs=outputs,
-                    widths=widths, key_port=design.key_port, stats=stats)
-
-
-# ---------------------------------------------------------------------------
-# Packing helpers
-# ---------------------------------------------------------------------------
-
-
-def pack_values(values: Sequence[int], width: int) -> Slices:
-    """Bit-slice a list of lane values into ``width`` slice words."""
-    slices = [0] * width
-    for lane, value in enumerate(values):
-        v = mask(int(value), width)
-        while v:
-            low = v & -v
-            slices[low.bit_length() - 1] |= 1 << lane
-            v ^= low
-    return slices
-
-
-def unpack_values(slices: Sequence[int], n: int) -> List[int]:
-    """Inverse of :func:`pack_values`: recover ``n`` lane values."""
-    values = [0] * n
-    for i, word in enumerate(slices):
-        w = word
-        while w:
-            low = w & -w
-            values[low.bit_length() - 1] |= 1 << i
-            w ^= low
-    return values
-
-
-def differing_lanes(expected: Mapping[str, Sequence[int]],
-                    actual: Mapping[str, Sequence[int]],
-                    names: Optional[Sequence[str]] = None,
-                    n: Optional[int] = None) -> List[int]:
-    """Lanes on which two ``run_batch`` results differ in any output.
-
-    Args:
-        expected: First result, ``{output name: [value per lane]}``.
-        actual: Second result of the same shape.
-        names: Outputs to compare (default: every key of ``expected``).
-        n: Lane count (default: inferred from the first compared output).
-
-    Returns:
-        Sorted lane indices with at least one differing output value.
-    """
-    compared = list(names) if names is not None else list(expected)
-    if n is None:
-        n = len(expected[compared[0]]) if compared else 0
-    return [lane for lane in range(n)
-            if any(expected[name][lane] != actual[name][lane]
-                   for name in compared)]
-
-
-# ---------------------------------------------------------------------------
-# The batch simulator
-# ---------------------------------------------------------------------------
-
-
-class BatchSimulator:
-    """Evaluate many input vectors of a design in one bit-parallel pass.
-
-    Args:
-        design: The design to simulate (locked or not).
-        plan: A pre-compiled plan (compiled on demand when omitted); passing
-            one plan to several simulators shares the compilation cost.
-
-    Raises:
-        SimulationError: for dependency cycles.
-        BatchCompileError: for constructs without a static bit-slice form.
-    """
-
-    def __init__(self, design: Design, plan: Optional[EvalPlan] = None) -> None:
-        self.design = design
-        self.plan = plan or compile_plan(design)
-
-    # ------------------------------------------------------------- accessors
-
-    @property
-    def input_names(self) -> List[str]:
-        """Primary input names (including the key port of a locked design)."""
-        return list(self.plan.inputs)
-
-    @property
-    def output_names(self) -> List[str]:
-        """Primary output names driven by combinational logic."""
-        return list(self.plan.outputs)
-
-    def width_of(self, name: str) -> int:
-        """Declared width of a signal."""
-        return self.plan.width_of(name)
-
-    # ------------------------------------------------------------ simulation
-
-    def run_batch(self, inputs: Mapping[str, Sequence[int]],
-                  key: Optional[Sequence[int]] = None,
-                  keys: Optional[Sequence[Sequence[int]]] = None,
-                  n: Optional[int] = None) -> Dict[str, List[int]]:
-        """Evaluate the design for a batch of input vectors.
-
-        Args:
-            inputs: ``{input name: [value per lane]}``; all sequences must
-                share one length, missing inputs default to 0 in every lane.
-            key: One key applied to every lane (broadcast).
-            keys: One key per lane (mutually exclusive with ``key``) — the
-                key-trial pattern: same inputs, a different key hypothesis in
-                every lane.
-            n: Lane count override, required when ``inputs`` is empty.
-
-        Returns:
-            ``{output name: [value per lane]}``.
-
-        Raises:
-            SimulationError: for unknown input names, inconsistent lane
-                counts, or invalid key bits.
-        """
-        lanes = n
-        for name, values in inputs.items():
-            if lanes is None:
-                lanes = len(values)
-            elif len(values) != lanes:
-                raise SimulationError(
-                    f"input {name!r} has {len(values)} lanes, expected {lanes}")
-        if keys is not None:
-            if key is not None:
-                raise SimulationError("pass either 'key' or 'keys', not both")
-            if lanes is None:
-                lanes = len(keys)
-            elif len(keys) != lanes:
-                raise SimulationError(
-                    f"got {len(keys)} keys for {lanes} lanes")
-        if lanes is None or lanes < 1:
-            raise SimulationError("batch needs at least one lane "
-                                  "(pass inputs or n)")
-        full = (1 << lanes) - 1
-
-        known = set(self.plan.inputs)
-        env: Dict[str, Slices] = {}
-        for name, values in inputs.items():
-            if name not in known:
-                raise SimulationError(f"{name!r} is not an input of "
-                                      f"{self.design.top_name!r}")
-            env[name] = pack_values(values, self.width_of(name))
-        for name in self.plan.inputs:
-            if name not in env:
-                env[name] = [0] * self.width_of(name)
-
-        key_port = self.plan.key_port
-        if key_port is not None:
-            if key is not None:
-                env[key_port] = _fit(_pack_key_broadcast(key, full),
-                                     self.width_of(key_port))
-            elif keys is not None:
-                env[key_port] = _fit(_pack_key_lanes(keys),
-                                     self.width_of(key_port))
-
-        for name, width, fn in self.plan.steps:
-            env[name] = _fit(fn(env, full), width)
-
-        return {name: unpack_values(env[name], lanes)
-                for name in self.plan.outputs}
-
-    def run_sweep(self, inputs: Mapping[str, Sequence[int]],
-                  keys: Optional[Sequence[Sequence[int]]] = None,
-                  bindings: Optional[Sequence[Mapping[str, int]]] = None,
-                  n: Optional[int] = None) -> List[Dict[str, List[int]]]:
-        """Evaluate S sweep points over one shared input batch in one pass.
-
-        A sweep is the outer product of a *base batch* (``inputs``, V lanes)
-        and S *sweep points*, each binding its own key and/or values for
-        designated input signals.  All ``S * V`` combinations are laid out as
-        lanes of a single bit-parallel pass — the replacement for the per-key
-        loop ``[run_batch(inputs, key=k) for k in keys]``, which pays the
-        plan-interpretation overhead S times instead of once.
-
-        Args:
-            inputs: Shared base batch ``{input name: [value per lane]}``; all
-                sequences must share one length.  Signals bound per point must
-                not also appear here.
-            keys: One key per sweep point (requires a locked design).
-            bindings: Per-point input overrides ``{input name: value}``; the
-                value is broadcast over the point's base lanes.  A signal
-                bound in one point but omitted in another defaults to 0 for
-                the latter.  The key port must be swept via ``keys``.
-            n: Base lane count override, required when ``inputs`` is empty.
-
-        Returns:
-            One ``{output name: [value per base lane]}`` dict per sweep
-            point, in point order — element ``s`` equals
-            ``run_batch(inputs, key=keys[s])`` bit for bit.
-
-        Raises:
-            SimulationError: for unknown signals, inconsistent lane or point
-                counts, invalid key bits, or key sweeps on unlocked designs.
-        """
-        base = n
-        for name, values in inputs.items():
-            if base is None:
-                base = len(values)
-            elif len(values) != base:
-                raise SimulationError(
-                    f"input {name!r} has {len(values)} lanes, expected {base}")
-        if base is None or base < 1:
-            raise SimulationError("sweep needs at least one base lane "
-                                  "(pass inputs or n)")
-        points = len(keys) if keys is not None else None
-        if bindings is not None:
-            if points is None:
-                points = len(bindings)
-            elif len(bindings) != points:
-                raise SimulationError(
-                    f"got {len(bindings)} bindings for {points} sweep points")
-        if points is None or points < 1:
-            raise SimulationError("sweep needs at least one point "
-                                  "(pass keys or bindings)")
-        key_port = self.plan.key_port
-        if keys is not None and key_port is None:
-            raise SimulationError("cannot sweep keys of an unlocked design")
-
-        lanes = points * base
-        full = (1 << lanes) - 1
-        block = (1 << base) - 1
-        # Replicating a V-lane slice into every point's lane block is one
-        # multiplication by the block-comb constant 0b...0001...0001.
-        tile = full // block
-
-        known = set(self.plan.inputs)
-        bound: Set[str] = set()
-        for point in bindings or ():
-            bound.update(point)
-        env: Dict[str, Slices] = {}
-        for name, values in inputs.items():
-            if name not in known:
-                raise SimulationError(f"{name!r} is not an input of "
-                                      f"{self.design.top_name!r}")
-            if name in bound:
-                raise SimulationError(
-                    f"input {name!r} is both shared and swept per point")
-            env[name] = [word * tile
-                         for word in pack_values(values, self.width_of(name))]
-        for name in bound:
-            if name not in known:
-                raise SimulationError(f"{name!r} is not an input of "
-                                      f"{self.design.top_name!r}")
-            if name == key_port:
-                raise SimulationError(
-                    "sweep the key port via 'keys', not 'bindings'")
-            width = self.width_of(name)
-            slices = [0] * width
-            for index, point in enumerate(bindings or ()):
-                if name not in point:
-                    continue
-                value = mask(int(point[name]), width)
-                shift = index * base
-                while value:
-                    low = value & -value
-                    slices[low.bit_length() - 1] |= block << shift
-                    value ^= low
-            env[name] = slices
-        for name in self.plan.inputs:
-            if name not in env:
-                env[name] = [0] * self.width_of(name)
-        if keys is not None and key_port is not None:
-            width = self.width_of(key_port)
-            slices = [0] * width
-            for index, point_key in enumerate(keys):
-                shift = index * base
-                for position, bit in enumerate(point_key):
-                    if bit not in (0, 1):
-                        raise SimulationError(
-                            f"key bit {position} of sweep point {index} "
-                            "is not 0/1")
-                    if bit and position < width:
-                        slices[position] |= block << shift
-            env[key_port] = slices
-
-        for name, width, fn in self.plan.steps:
-            env[name] = _fit(fn(env, full), width)
-
-        results: List[Dict[str, List[int]]] = []
-        for index in range(points):
-            shift = index * base
-            results.append(
-                {name: unpack_values([(word >> shift) & block
-                                      for word in env[name]], base)
-                 for name in self.plan.outputs})
-        return results
-
-    def run(self, inputs: Mapping[str, int],
-            key: Optional[Sequence[int]] = None) -> Dict[str, int]:
-        """Single-vector convenience wrapper around :meth:`run_batch`."""
-        batch = {name: [value] for name, value in inputs.items()}
-        outputs = self.run_batch(batch, key=key, n=1)
-        return {name: values[0] for name, values in outputs.items()}
-
-    def random_batch(self, rng: random.Random,
-                     n: int) -> Dict[str, List[int]]:
-        """Draw ``n`` random vectors for every data input (key port excluded).
-
-        Delegates to :func:`repro.sim.vectors.random_vector_batch`, which
-        consumes the random stream in exactly the same order as ``n`` calls
-        to :meth:`CombinationalSimulator.random_vector`, so a shared ``rng``
-        seed produces identical test vectors on both engines.
-        """
-        from .vectors import random_vector_batch
-        signals = [(name, self.width_of(name)) for name in self.plan.inputs
-                   if name != self.plan.key_port]
-        return random_vector_batch(signals, rng, n)
-
-
-def _pack_key_broadcast(key: Sequence[int], full: int) -> Slices:
-    slices: Slices = []
-    for position, bit in enumerate(key):
-        if bit not in (0, 1):
-            raise SimulationError(f"key bit {position} is not 0/1")
-        slices.append(full if bit else 0)
-    return slices
-
-
-def _pack_key_lanes(keys: Sequence[Sequence[int]]) -> Slices:
-    width = max((len(k) for k in keys), default=0)
-    slices = [0] * width
-    for lane, lane_key in enumerate(keys):
-        for position, bit in enumerate(lane_key):
-            if bit not in (0, 1):
-                raise SimulationError(
-                    f"key bit {position} of lane {lane} is not 0/1")
-            if bit:
-                slices[position] |= 1 << lane
-    return slices
+from .plan.executor import (  # noqa: F401
+    BatchSimulator,
+    _add,
+    _divmod,
+    _equal,
+    _fit,
+    _less_than,
+    _mul,
+    _mux,
+    _nonzero,
+    _pack_key_broadcast,
+    _pack_key_lanes,
+    _shift_left_var,
+    _shift_right_var,
+    _sub,
+    differing_lanes,
+    pack_values,
+    run_plan_vector,
+    unpack_values,
+)
+from .plan.passes import compile_plan  # noqa: F401
+from .plan.steps import (  # noqa: F401
+    WORKING_WIDTH,
+    BatchCompileError,
+    CompiledExpr,
+    EvalPlan,
+    PassDelta,
+    PlanStats,
+    Slices,
+    Step,
+)
+
+__all__ = [
+    "BatchCompileError",
+    "BatchSimulator",
+    "CompiledExpr",
+    "EvalPlan",
+    "PassDelta",
+    "PlanStats",
+    "Slices",
+    "Step",
+    "WORKING_WIDTH",
+    "compile_plan",
+    "differing_lanes",
+    "pack_values",
+    "run_plan_vector",
+    "unpack_values",
+]

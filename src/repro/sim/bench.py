@@ -1,11 +1,15 @@
 """Micro-benchmark harness for the simulation engine layers.
 
-The harness answers two questions with measurements instead of assertions:
+The harness answers three questions with measurements instead of assertions:
 
 * *how much faster is the bit-parallel batch engine than the per-vector
-  scalar oracle on this design?* (:func:`compare_engines`), and
+  scalar oracle on this design?* (:func:`compare_engines`),
 * *how much faster is a per-lane key sweep than the per-key batch loop it
-  replaces?* (:func:`compare_key_sweep`).
+  replaces?* (:func:`compare_key_sweep`), and
+* *how much sweep work does the sweep value-numbering pass hoist out of the
+  S×V lanes on the SnapShot-KPA sweep shape?* (:func:`compare_sweep_vn` —
+  the hoisted default path against the flat pre-VN evaluation of every
+  step).
 
 Every comparison also cross-checks the measured paths output-for-output, so
 a reported speedup is only ever produced alongside a bit-identical result.
@@ -16,7 +20,7 @@ Run it from the command line::
     PYTHONPATH=src python -m repro.cli sim-bench --json BENCH_sim.json
 
 or programmatically via :func:`run_microbenchmark` /
-:func:`run_sweep_microbenchmark`.
+:func:`run_sweep_microbenchmark` / :func:`run_sweep_vn_microbenchmark`.
 """
 
 from __future__ import annotations
@@ -27,7 +31,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..rtlir.design import Design
-from .batch import BatchSimulator
+from .plan import BatchSimulator
 from .simulator import CombinationalSimulator
 
 
@@ -88,7 +92,10 @@ def compare_engines(design: Design, vectors: int = 256,
     if key is None and design.is_locked:
         key = design.correct_key
 
-    scalar = CombinationalSimulator(design)
+    # engine="ast" keeps the measured reference the true AST-walking oracle;
+    # the default scalar engine now executes the compiled plan itself, which
+    # would make this comparison plan-vs-plan.
+    scalar = CombinationalSimulator(design, engine="ast")
     compile_start = time.perf_counter()
     batch = BatchSimulator(design)
     compile_seconds = time.perf_counter() - compile_start
@@ -220,6 +227,108 @@ def compare_key_sweep(design: Design, keys: int = 64, vectors: int = 32,
     )
 
 
+@dataclass
+class SweepVNComparison:
+    """Timing of one flat-sweep vs value-numbered-sweep comparison.
+
+    Attributes:
+        design_name: Name of the measured (locked) design.
+        keys: Number of key hypotheses swept.
+        vectors: Shared input vectors per key hypothesis.
+        flat_seconds: Wall time of the pre-VN path — every plan step
+            evaluated on all ``keys * vectors`` sweep lanes
+            (``run_sweep(..., hoist=False)``, the PR 2 baseline).
+        hoisted_seconds: Wall time of the value-numbered path —
+            point-invariant steps evaluated once on the ``vectors`` base
+            lanes (``hoist=True``, the default).
+        outputs_match: True when both paths produced identical outputs.
+        invariant_steps: Plan steps tagged point-invariant w.r.t. the key
+            port (the hoisted work).
+        total_steps: Steps in the plan.
+        hoisted_subexprs: ``$vn`` steps the sweep-VN pass carved out of
+            key-dependent assignments.
+    """
+
+    design_name: str
+    keys: int
+    vectors: int
+    flat_seconds: float
+    hoisted_seconds: float
+    outputs_match: bool
+    invariant_steps: int
+    total_steps: int
+    hoisted_subexprs: int
+
+    @property
+    def speedup(self) -> float:
+        """Flat-sweep time over value-numbered-sweep time."""
+        if self.hoisted_seconds <= 0.0:
+            return float("inf")
+        return self.flat_seconds / self.hoisted_seconds
+
+
+def compare_sweep_vn(design: Design, keys: int = 64, vectors: int = 512,
+                     rng: Optional[random.Random] = None,
+                     repeats: int = 3,
+                     label: Optional[str] = None) -> SweepVNComparison:
+    """Time the flat S×V sweep against the sweep value-numbered default.
+
+    Both paths run the *same* ``run_sweep`` call on the same plan, keys and
+    shared input batch; only the ``hoist`` toggle differs, so the measured
+    delta is exactly what the sweep value-numbering tags buy.  Outputs are
+    cross-checked entry-for-entry.
+
+    Args:
+        design: A locked design.
+        keys: Number of random key hypotheses (the SnapShot-KPA shape
+            defaults to 64).
+        vectors: Input vectors shared by every hypothesis.
+        rng: Random source for vectors and key hypotheses.
+        repeats: Timing repetitions (best time kept).
+        label: Reported design name (defaults to ``design.name``).
+
+    Raises:
+        ValueError: for unlocked designs or non-positive sizes.
+    """
+    if not design.is_locked:
+        raise ValueError("sweep-VN comparison requires a locked design")
+    if keys < 1 or vectors < 1:
+        raise ValueError("keys and vectors must be positive")
+    if repeats < 1:
+        raise ValueError("repeats must be positive")
+    rng = rng or random.Random(0)
+
+    from .vectors import random_key
+
+    simulator = BatchSimulator(design)
+    batch = simulator.random_batch(rng, vectors)
+    key_list = [random_key(design.key_width, rng) for _ in range(keys)]
+
+    def run_flat() -> List[dict]:
+        return simulator.run_sweep(batch, keys=key_list, n=vectors,
+                                   hoist=False)
+
+    def run_hoisted() -> List[dict]:
+        return simulator.run_sweep(batch, keys=key_list, n=vectors,
+                                   hoist=True)
+
+    flat_seconds, flat_outputs = _best_time(run_flat, repeats)
+    hoisted_seconds, hoisted_outputs = _best_time(run_hoisted, repeats)
+
+    stats = simulator.plan.stats
+    return SweepVNComparison(
+        design_name=label or design.name,
+        keys=keys,
+        vectors=vectors,
+        flat_seconds=flat_seconds,
+        hoisted_seconds=hoisted_seconds,
+        outputs_match=flat_outputs == hoisted_outputs,
+        invariant_steps=stats.invariant_steps,
+        total_steps=stats.steps,
+        hoisted_subexprs=stats.hoisted_subexprs,
+    )
+
+
 def default_suite(scale: float = 0.25,
                   seed: int = 0) -> List[Tuple[str, Design]]:
     """The default micro-benchmark designs: plain, locked, and imbalanced.
@@ -265,6 +374,40 @@ def run_sweep_microbenchmark(keys: int = 64, vectors: int = 32,
             if design.is_locked]
 
 
+def sweep_vn_suite(scale: float = 0.25,
+                   seed: int = 0) -> List[Tuple[str, Design]]:
+    """Locked designs for the sweep value-numbering comparison.
+
+    ``i2c_sl_era`` is the headline case: ERA's randomised pair selection on
+    a control-dominated design leaves most of the logic cone outside the
+    key muxes, so sweep value-numbering hoists the bulk of the plan out of
+    the S×V lanes.  The chained ``md5_scaled_era`` rides along as the
+    worst-case shape (deep key cone, little to hoist) so the report always
+    shows both ends of the spectrum.
+    """
+    from ..bench import load_benchmark
+    from ..locking.era import ERALocker
+
+    designs = []
+    for name, label in (("I2C_SL", "i2c_sl_era"), ("MD5", "md5_scaled_era")):
+        base = load_benchmark(name, scale=scale, seed=seed)
+        budget = max(1, int(0.75 * base.num_operations()))
+        locked = ERALocker(rng=random.Random(seed),
+                           track_metrics=False).lock(base, budget).design
+        designs.append((label, locked))
+    return designs
+
+
+def run_sweep_vn_microbenchmark(keys: int = 64, vectors: int = 512,
+                                scale: float = 0.25, seed: int = 0,
+                                repeats: int = 3) -> List[SweepVNComparison]:
+    """Run :func:`compare_sweep_vn` over the VN suite (KPA sweep shape)."""
+    return [compare_sweep_vn(design, keys=keys, vectors=vectors,
+                             rng=random.Random(seed), repeats=repeats,
+                             label=label)
+            for label, design in sweep_vn_suite(scale=scale, seed=seed)]
+
+
 def format_report(results: Sequence[EngineComparison]) -> str:
     """Render comparisons as a fixed-width text table."""
     header = (f"{'design':<20} {'vectors':>7} {'scalar [ms]':>12} "
@@ -297,8 +440,28 @@ def format_sweep_report(results: Sequence[SweepComparison]) -> str:
     return "\n".join(lines)
 
 
+def format_vn_report(results: Sequence[SweepVNComparison]) -> str:
+    """Render sweep value-numbering comparisons as a fixed-width table."""
+    header = (f"{'design':<20} {'keys':>5} {'vectors':>7} {'flat [ms]':>10} "
+              f"{'hoisted [ms]':>13} {'speedup':>8} {'inv/steps':>10} "
+              f"{'$vn':>4} match")
+    lines = [header, "-" * len(header)]
+    for item in results:
+        lines.append(
+            f"{item.design_name:<20} {item.keys:>5} {item.vectors:>7} "
+            f"{item.flat_seconds * 1e3:>10.2f} "
+            f"{item.hoisted_seconds * 1e3:>13.2f} "
+            f"{item.speedup:>7.1f}x "
+            f"{f'{item.invariant_steps}/{item.total_steps}':>10} "
+            f"{item.hoisted_subexprs:>4} "
+            f"{'yes' if item.outputs_match else 'NO'}")
+    return "\n".join(lines)
+
+
 def report_json(engine_results: Sequence[EngineComparison],
-                sweep_results: Sequence[SweepComparison]) -> Dict[str, object]:
+                sweep_results: Sequence[SweepComparison],
+                vn_results: Sequence[SweepVNComparison] = ()
+                ) -> Dict[str, object]:
     """Serialise benchmark results for ``BENCH_sim.json`` (CI artifact).
 
     The layout is flat and append-friendly so the perf trajectory can be
@@ -331,5 +494,20 @@ def report_json(engine_results: Sequence[EngineComparison],
                 "outputs_match": item.outputs_match,
             }
             for item in sweep_results
+        ],
+        "sweep_vn": [
+            {
+                "design": item.design_name,
+                "keys": item.keys,
+                "vectors": item.vectors,
+                "flat_ms": item.flat_seconds * 1e3,
+                "hoisted_ms": item.hoisted_seconds * 1e3,
+                "speedup": item.speedup,
+                "invariant_steps": item.invariant_steps,
+                "total_steps": item.total_steps,
+                "hoisted_subexprs": item.hoisted_subexprs,
+                "outputs_match": item.outputs_match,
+            }
+            for item in vn_results
         ],
     }

@@ -1,0 +1,66 @@
+"""The staged plan compiler: IR → passes → executor.
+
+``repro.sim.plan`` is the compilation pipeline behind both simulation
+engines.  A design lowers once into a flat plan of typed steps
+(:mod:`~repro.sim.plan.steps`), an ordered and individually-toggleable pass
+list optimises it (:mod:`~repro.sim.plan.passes`: constant folding, CSE,
+sweep value-numbering, lowering, dead-step pruning), and a thin executor
+(:mod:`~repro.sim.plan.executor`) runs the result — N vectors per
+bit-parallel pass, S×V sweep lanes per pass with point-invariant steps
+hoisted to the V-lane base batch, or a single lane for the scalar engine.
+
+The long-standing import surface (``repro.sim.batch``) re-exports everything
+below unchanged.
+"""
+
+from .executor import (
+    BatchSimulator,
+    classify_steps,
+    differing_lanes,
+    pack_values,
+    run_plan_vector,
+    unpack_values,
+)
+from .lowering import ExpressionCompiler
+from .passes import (
+    PASS_FACTORIES,
+    PASS_ORDER,
+    PassManager,
+    PlanBuild,
+    compile_plan,
+    normalize_passes,
+)
+from .steps import (
+    WORKING_WIDTH,
+    BatchCompileError,
+    CompiledExpr,
+    EvalPlan,
+    PassDelta,
+    PlanStats,
+    Slices,
+    Step,
+)
+
+__all__ = [
+    "BatchCompileError",
+    "BatchSimulator",
+    "CompiledExpr",
+    "EvalPlan",
+    "ExpressionCompiler",
+    "PASS_FACTORIES",
+    "PASS_ORDER",
+    "PassDelta",
+    "PassManager",
+    "PlanBuild",
+    "PlanStats",
+    "Slices",
+    "Step",
+    "WORKING_WIDTH",
+    "classify_steps",
+    "compile_plan",
+    "differing_lanes",
+    "normalize_passes",
+    "pack_values",
+    "run_plan_vector",
+    "unpack_values",
+]

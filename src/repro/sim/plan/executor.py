@@ -1,0 +1,855 @@
+"""The plan executor: bit-slice ALU kernels and the plan-driven simulators.
+
+This module holds the *runtime* of the plan pipeline — everything that
+happens after compilation:
+
+* the bit-slice ALU primitives (ripple-carry add, shift-and-add multiply,
+  restoring division, barrel shifters, mask-select muxes) the compiled
+  closures call into,
+* the lane packers (:func:`pack_values` / :func:`unpack_values`),
+* :class:`BatchSimulator` — N input vectors per bit-parallel pass
+  (:meth:`~BatchSimulator.run_batch`) and S×V (key, input) sweep lanes per
+  pass (:meth:`~BatchSimulator.run_sweep`), and
+* :func:`run_plan_vector` — the lane-width-1 interpreter the scalar
+  :class:`~repro.sim.simulator.CombinationalSimulator` executes compiled
+  plans with, so both engines share one semantics by construction.
+
+``run_sweep`` applies the sweep value-numbering tags: steps whose transitive
+inputs are point-invariant (they read neither a swept key port nor a
+per-point bound signal) evaluate once on the V-lane base batch and their
+results are tiled across the S point blocks, instead of being re-evaluated
+on all S×V lanes.  Identical keys across all sweep points count as
+point-invariant — the avalanche-study shape, where only one probed input
+varies.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import (Dict, FrozenSet, List, Mapping, Optional, Sequence, Set,
+                    Tuple)
+
+from ...rtlir.design import Design
+from ..evaluator import SimulationError, mask
+from .steps import EvalPlan, Slices, Step
+
+# ---------------------------------------------------------------------------
+# Bit-slice ALU primitives
+# ---------------------------------------------------------------------------
+# Every primitive treats missing high slices as zero and never mutates its
+# operands; all produced slices are masked to the batch's lane mask ``full``.
+
+
+def _fit(value: Slices, width: int) -> Slices:
+    """Truncate or zero-extend ``value`` to exactly ``width`` slices."""
+    if len(value) == width:
+        return value
+    if len(value) > width:
+        return value[:width]
+    return value + [0] * (width - len(value))
+
+
+def _add(a: Slices, b: Slices, n: int, carry: int = 0) -> Slices:
+    """Ripple-carry ``(a + b + carry) mod 2**n`` over all lanes."""
+    out: Slices = []
+    c = carry
+    la, lb = len(a), len(b)
+    for i in range(n):
+        ai = a[i] if i < la else 0
+        bi = b[i] if i < lb else 0
+        axb = ai ^ bi
+        out.append(axb ^ c)
+        c = (ai & bi) | (c & axb)
+    return out
+
+
+def _sub(a: Slices, b: Slices, n: int, full: int) -> Slices:
+    """``(a - b) mod 2**n`` via ``a + ~b + 1`` over all lanes."""
+    out: Slices = []
+    c = full
+    la, lb = len(a), len(b)
+    for i in range(n):
+        ai = a[i] if i < la else 0
+        bi = (b[i] ^ full) if i < lb else full
+        axb = ai ^ bi
+        out.append(axb ^ c)
+        c = (ai & bi) | (c & axb)
+    return out
+
+
+def _mul(a: Slices, b: Slices, n: int) -> Slices:
+    """Shift-and-add ``(a * b) mod 2**n``; all-zero partials are skipped."""
+    out = [0] * n
+    la = len(a)
+    for j, bj in enumerate(b):
+        if j >= n:
+            break
+        if bj == 0:
+            continue
+        c = 0
+        for i in range(j, n):
+            ai = a[i - j] if i - j < la else 0
+            p = ai & bj
+            axb = out[i] ^ p
+            s = axb ^ c
+            c = (out[i] & p) | (c & axb)
+            out[i] = s
+    return out
+
+
+def _divmod(a: Slices, b: Slices, full: int) -> Tuple[Slices, Slices]:
+    """Restoring division; lanes dividing by zero yield quotient/remainder 0."""
+    n, nb = len(a), len(b)
+    nonzero = 0
+    for s in b:
+        nonzero |= s
+    if n == 0 or nb == 0 or nonzero == 0:
+        return [0] * n, [0] * nb
+    remainder = [0] * (nb + 1)
+    quotient = [0] * n
+    for i in range(n - 1, -1, -1):
+        remainder = [a[i]] + remainder[:nb]
+        trial = _sub(remainder, b, nb + 1, full)
+        no_borrow = trial[nb] ^ full
+        quotient[i] = no_borrow & nonzero
+        keep = no_borrow ^ full
+        remainder = [(t & no_borrow) | (r & keep)
+                     for t, r in zip(trial, remainder)]
+    return quotient, [s & nonzero for s in remainder[:nb]]
+
+
+def _less_than(a: Slices, b: Slices, full: int) -> int:
+    """Per-lane ``a < b`` mask (sign of the widened subtraction)."""
+    n = max(len(a), len(b)) + 1
+    return _sub(a, b, n, full)[n - 1]
+
+
+def _equal(a: Slices, b: Slices, full: int) -> int:
+    """Per-lane ``a == b`` mask."""
+    diff = 0
+    la, lb = len(a), len(b)
+    for i in range(max(la, lb)):
+        ai = a[i] if i < la else 0
+        bi = b[i] if i < lb else 0
+        diff |= ai ^ bi
+    return diff ^ full
+
+
+def _nonzero(a: Slices) -> int:
+    """Per-lane ``a != 0`` mask."""
+    acc = 0
+    for s in a:
+        acc |= s
+    return acc
+
+
+def _mux(cond: int, true_value: Slices, false_value: Slices,
+         full: int) -> Slices:
+    """Lane-select ``cond ? true_value : false_value``."""
+    n = max(len(true_value), len(false_value))
+    inv = cond ^ full
+    lt, lf = len(true_value), len(false_value)
+    return [((true_value[i] if i < lt else 0) & cond)
+            | ((false_value[i] if i < lf else 0) & inv)
+            for i in range(n)]
+
+
+def _shift_left_var(a: Slices, amount: Slices, n: int, full: int) -> Slices:
+    """Barrel shifter: ``(a << amount) mod 2**n`` with per-lane amounts."""
+    cur = _fit(a, n)
+    kill = 0
+    for k, s in enumerate(amount):
+        if (1 << k) >= n:
+            kill |= s
+            continue
+        if s == 0:
+            continue
+        sh = 1 << k
+        inv = s ^ full
+        cur = [((cur[i - sh] if i >= sh else 0) & s) | (cur[i] & inv)
+               for i in range(n)]
+    if kill:
+        keep = kill ^ full
+        cur = [c & keep for c in cur]
+    return cur
+
+
+def _shift_right_var(a: Slices, amount: Slices, full: int) -> Slices:
+    """Barrel shifter: ``a >> amount`` with per-lane amounts."""
+    n = len(a)
+    if n == 0:
+        return []
+    cur = list(a)
+    kill = 0
+    for k, s in enumerate(amount):
+        if (1 << k) >= n:
+            kill |= s
+            continue
+        if s == 0:
+            continue
+        sh = 1 << k
+        inv = s ^ full
+        cur = [((cur[i + sh] if i + sh < n else 0) & s) | (cur[i] & inv)
+               for i in range(n)]
+    if kill:
+        keep = kill ^ full
+        cur = [c & keep for c in cur]
+    return cur
+
+
+# ---------------------------------------------------------------------------
+# Packing helpers
+# ---------------------------------------------------------------------------
+
+
+#: Lane count from which :func:`pack_values` switches to the vectorised
+#: byte-level path (below it, the set-bit loop wins on constant factors).
+_FAST_PACK_LANES = 128
+
+
+def pack_values(values: Sequence[int], width: int) -> Slices:
+    """Bit-slice a list of lane values into ``width`` slice words.
+
+    Large batches of narrow (≤ 64-bit) signals take a vectorised path —
+    one bit-column extraction per slice at C speed; the set-bit loop remains
+    for small batches and arbitrary widths.  Both paths mask values to
+    ``width`` bits and are bit-identical.
+    """
+    if len(values) >= _FAST_PACK_LANES and width <= 64:
+        return _pack_values_fast(values, width)
+    slices = [0] * width
+    for lane, value in enumerate(values):
+        v = mask(int(value), width)
+        while v:
+            low = v & -v
+            slices[low.bit_length() - 1] |= 1 << lane
+            v ^= low
+    return slices
+
+
+def _pack_values_fast(values: Sequence[int], width: int) -> Slices:
+    """Vectorised :func:`pack_values` for wide lanes of ≤ 64-bit signals."""
+    import numpy as np
+
+    try:
+        arr = np.array(values, dtype=np.uint64)
+    except (TypeError, OverflowError):
+        # Negative or over-wide values: reproduce mask() element-wise.
+        arr = np.array([mask(int(value), width) for value in values],
+                       dtype=np.uint64)
+    if width < 64:
+        arr = arr & np.uint64((1 << width) - 1)
+    return _bit_columns_to_words(_bit_matrix(arr, width))
+
+
+def _bit_matrix(arr: "object", width: int) -> "object":
+    """``(lanes, width)`` bit matrix of a uint64 value array (LSB first)."""
+    import numpy as np
+
+    bytes_view = np.ascontiguousarray(arr.astype("<u8")).view(np.uint8)
+    bits = np.unpackbits(bytes_view.reshape(-1, 8), axis=1, bitorder="little")
+    return bits[:, :width]
+
+
+def _bit_columns_to_words(bits: "object") -> Slices:
+    """Pack each column of a ``(lanes, width)`` bit matrix into one slice int."""
+    return _bit_rows_to_words(bits.T)
+
+
+def _bit_rows_to_words(rows: "object") -> Slices:
+    """Pack each row of a ``(width, lanes)`` bit matrix into one slice int."""
+    import numpy as np
+
+    packed = np.packbits(np.ascontiguousarray(rows), axis=1,
+                         bitorder="little")
+    return [int.from_bytes(row.tobytes(), "little") for row in packed]
+
+
+def _pack_swept_keys(keys: Sequence[Sequence[int]], width: int,
+                     base: int) -> Slices:
+    """Pack one key per sweep point into S×V-lane slices (point blocks)."""
+    points = len(keys)
+    block = (1 << base) - 1
+    if points * base >= _FAST_PACK_LANES \
+            and len({len(key) for key in keys}) == 1:
+        import numpy as np
+
+        try:
+            arr = np.array(keys, dtype=np.uint8)
+        except (TypeError, ValueError, OverflowError):
+            arr = None
+        if arr is not None:
+            bad = np.argwhere(arr > 1)
+            if len(bad):
+                point, position = (int(bad[0][0]), int(bad[0][1]))
+                raise SimulationError(
+                    f"key bit {position} of sweep point {point} is not 0/1")
+            rows = np.repeat(arr[:, :width].T, base, axis=1)
+            return _fit(_bit_rows_to_words(rows), width)
+    slices = [0] * width
+    for index, point_key in enumerate(keys):
+        shift = index * base
+        for position, bit in enumerate(point_key):
+            if bit not in (0, 1):
+                raise SimulationError(
+                    f"key bit {position} of sweep point {index} "
+                    "is not 0/1")
+            if bit and position < width:
+                slices[position] |= block << shift
+    return slices
+
+
+def _pack_point_values(values: Sequence[int], width: int,
+                       base: int) -> Slices:
+    """Broadcast one value per sweep point over its V-lane block."""
+    points = len(values)
+    block = (1 << base) - 1
+    if points * base >= _FAST_PACK_LANES and width <= 64:
+        import numpy as np
+
+        try:
+            arr = np.array(values, dtype=np.uint64)
+        except (TypeError, OverflowError):
+            arr = np.array([mask(int(value), width) for value in values],
+                           dtype=np.uint64)
+        if width < 64:
+            arr = arr & np.uint64((1 << width) - 1)
+        rows = np.repeat(_bit_matrix(arr, width).T, base, axis=1)
+        return _bit_rows_to_words(rows)
+    slices = [0] * width
+    for index, point_value in enumerate(values):
+        value = mask(int(point_value), width)
+        shift = index * base
+        while value:
+            low = value & -value
+            slices[low.bit_length() - 1] |= block << shift
+            value ^= low
+    return slices
+
+
+#: Lane count from which :func:`unpack_values` switches to the vectorised
+#: byte-level path (below it, the set-bit loop wins on constant factors).
+_FAST_UNPACK_LANES = 128
+
+
+def unpack_values(slices: Sequence[int], n: int) -> List[int]:
+    """Inverse of :func:`pack_values`: recover ``n`` lane values.
+
+    Large batches take a vectorised path: every slice word is exploded to a
+    byte/bit array at C speed and the per-lane values are rebuilt in 32-slice
+    chunks, which is what keeps result extraction from dominating S×V-lane
+    sweeps.  Small batches keep the set-bit loop.  Both paths return plain
+    Python ints and are bit-identical.
+    """
+    if n >= _FAST_UNPACK_LANES and slices:
+        return _unpack_values_fast(slices, n)
+    values = [0] * n
+    for i, word in enumerate(slices):
+        w = word
+        while w:
+            low = w & -w
+            values[low.bit_length() - 1] |= 1 << i
+            w ^= low
+    return values
+
+
+def _unpack_values_fast(slices: Sequence[int], n: int) -> List[int]:
+    """Vectorised :func:`unpack_values` for wide lane counts."""
+    import numpy as np
+
+    width = len(slices)
+    nbytes = (n + 7) // 8
+    buffer = b"".join(word.to_bytes(nbytes, "little") for word in slices)
+    bits = np.unpackbits(np.frombuffer(buffer, dtype=np.uint8)
+                         .reshape(width, nbytes),
+                         axis=1, bitorder="little", count=n)
+    # Re-pack each lane's bit row into value bytes, then view groups of
+    # eight bytes as 64-bit words and recombine the (rare) high words with
+    # Python ints.
+    value_bytes = (width + 7) // 8
+    word_count = (value_bytes + 7) // 8
+    if width % 8:
+        lane_bits = np.zeros((n, value_bytes * 8), dtype=np.uint8)
+        lane_bits[:, :width] = bits.T
+    else:
+        lane_bits = np.ascontiguousarray(bits.T)
+    packed = np.packbits(lane_bits, axis=1, bitorder="little")
+    if value_bytes % 8:
+        padded = np.zeros((n, word_count * 8), dtype=np.uint8)
+        padded[:, :value_bytes] = packed
+        packed = padded
+    words = packed.view("<u8")
+    values = words[:, 0].tolist()
+    for column in range(1, word_count):
+        shift = 64 * column
+        high = words[:, column].tolist()
+        values = [low | (word << shift)
+                  for low, word in zip(values, high)]
+    return values
+
+
+def differing_lanes(expected: Mapping[str, Sequence[int]],
+                    actual: Mapping[str, Sequence[int]],
+                    names: Optional[Sequence[str]] = None,
+                    n: Optional[int] = None) -> List[int]:
+    """Lanes on which two ``run_batch`` results differ in any output.
+
+    Args:
+        expected: First result, ``{output name: [value per lane]}``.
+        actual: Second result of the same shape.
+        names: Outputs to compare (default: every key of ``expected``).
+        n: Lane count (default: inferred from the first compared output).
+
+    Returns:
+        Sorted lane indices with at least one differing output value.
+    """
+    compared = list(names) if names is not None else list(expected)
+    if n is None:
+        n = len(expected[compared[0]]) if compared else 0
+    return [lane for lane in range(n)
+            if any(expected[name][lane] != actual[name][lane]
+                   for name in compared)]
+
+
+def _pack_key_broadcast(key: Sequence[int], full: int) -> Slices:
+    slices: Slices = []
+    for position, bit in enumerate(key):
+        if bit not in (0, 1):
+            raise SimulationError(f"key bit {position} is not 0/1")
+        slices.append(full if bit else 0)
+    return slices
+
+
+def _pack_key_lanes(keys: Sequence[Sequence[int]]) -> Slices:
+    width = max((len(k) for k in keys), default=0)
+    slices = [0] * width
+    for lane, lane_key in enumerate(keys):
+        for position, bit in enumerate(lane_key):
+            if bit not in (0, 1):
+                raise SimulationError(
+                    f"key bit {position} of lane {lane} is not 0/1")
+            if bit:
+                slices[position] |= 1 << lane
+    return slices
+
+
+# ---------------------------------------------------------------------------
+# Plan execution
+# ---------------------------------------------------------------------------
+
+
+def execute_steps(steps: Sequence[Step], env: Dict[str, Slices],
+                  full: int) -> None:
+    """Run ``steps`` in order, writing each result into ``env``."""
+    for step in steps:
+        env[step.target] = _fit(step.fn(env, full), step.width)
+
+
+def classify_steps(steps: Sequence[Step], inputs: Sequence[str],
+                   varying: Set[str]) -> Tuple[List[Step], List[Step]]:
+    """Split plan steps into (point-invariant, point-varying) for a sweep.
+
+    A step is point-invariant when every name it reads is either an input
+    outside the ``varying`` source set or the target of an earlier
+    point-invariant step; order within each list is the plan order, so each
+    list stays topologically sorted on its own.
+    """
+    invariant_names = {name for name in inputs if name not in varying}
+    invariant: List[Step] = []
+    point_varying: List[Step] = []
+    for step in steps:
+        if all(name in invariant_names for name in step.reads):
+            invariant_names.add(step.target)
+            invariant.append(step)
+        else:
+            point_varying.append(step)
+    return invariant, point_varying
+
+
+class _SweepSchedule:
+    """Cached step split + tiling plan of ``run_sweep`` for one varying set.
+
+    Classification depends only on the plan and on which sources vary per
+    point, so it is computed once per (plan, varying-set) pair and reused by
+    every subsequent sweep — the schedules live on the plan object, which
+    the process-wide plan cache shares across simulator instances.
+    """
+
+    __slots__ = ("invariant_steps", "varying_steps", "needed",
+                 "invariant_outputs", "varying_outputs")
+
+    def __init__(self, plan: EvalPlan, varying: FrozenSet[str],
+                 flat: bool) -> None:
+        if not flat:
+            invariant, point_varying = classify_steps(
+                plan.steps, plan.inputs, set(varying))
+            targets = {step.target for step in invariant}
+            # Hoisting pays off when a meaningful share of the plan leaves
+            # the S×V lanes (or a whole output can be extracted once from
+            # the V-lane base batch); for key-cone-dominated plans the
+            # base-batch bookkeeping would only add overhead, so fall back
+            # to the flat schedule.
+            profitable = any(name in targets for name in plan.outputs) \
+                or 2 * len(invariant) >= len(plan.steps)
+            flat = not profitable
+        if flat:
+            self.invariant_steps: List[Step] = []
+            self.varying_steps: List[Step] = list(plan.steps)
+            self.invariant_outputs: Tuple[str, ...] = ()
+            self.varying_outputs = tuple(plan.outputs)
+            self.needed: FrozenSet[str] = frozenset(plan.inputs)
+            return
+        self.invariant_steps = invariant
+        self.varying_steps = point_varying
+        self.invariant_outputs = tuple(name for name in plan.outputs
+                                       if name in targets)
+        self.varying_outputs = tuple(name for name in plan.outputs
+                                     if name not in targets)
+        needed: Set[str] = set()
+        for step in self.varying_steps:
+            needed.update(step.reads)
+        self.needed = frozenset(needed)
+
+
+def sweep_schedule(plan: EvalPlan, varying: FrozenSet[str],
+                   flat: bool = False) -> _SweepSchedule:
+    """The (cached) sweep schedule of ``plan`` for one set of varying sources."""
+    cache = getattr(plan, "_sweep_schedules", None)
+    if cache is None:
+        cache = {}
+        plan._sweep_schedules = cache  # type: ignore[attr-defined]
+    key = (varying, flat)
+    schedule = cache.get(key)
+    if schedule is None:
+        schedule = _SweepSchedule(plan, varying, flat)
+        cache[key] = schedule
+    return schedule
+
+
+def run_plan_vector(plan: EvalPlan, inputs: Mapping[str, int],
+                    key: Optional[Sequence[int]] = None,
+                    top_name: str = "design") -> Dict[str, int]:
+    """Evaluate a compiled plan for one input vector (lane width 1).
+
+    This is the scalar engine's fast path: the same steps, kernels and
+    widths as the batch engine, run over single-lane slices — so scalar and
+    batch results agree by construction, not by cross-check.
+
+    Raises:
+        SimulationError: for unknown input names or invalid key bits.
+    """
+    env: Dict[str, Slices] = {}
+    known = set(plan.inputs)
+    for name, value in inputs.items():
+        if name not in known:
+            raise SimulationError(f"{name!r} is not an input of "
+                                  f"{top_name!r}")
+        env[name] = pack_values([value], plan.width_of(name))
+    for name in plan.inputs:
+        if name not in env:
+            env[name] = [0] * plan.width_of(name)
+    if plan.key_port is not None and key is not None:
+        env[plan.key_port] = _fit(_pack_key_broadcast(key, 1),
+                                  plan.width_of(plan.key_port))
+    execute_steps(plan.steps, env, 1)
+    return {name: unpack_values(env[name], 1)[0] for name in plan.outputs}
+
+
+# ---------------------------------------------------------------------------
+# The batch simulator
+# ---------------------------------------------------------------------------
+
+
+class BatchSimulator:
+    """Evaluate many input vectors of a design in one bit-parallel pass.
+
+    Args:
+        design: The design to simulate (locked or not).
+        plan: A pre-compiled plan (compiled on demand when omitted); passing
+            one plan to several simulators shares the compilation cost.
+
+    Raises:
+        SimulationError: for dependency cycles.
+        BatchCompileError: for constructs without a static bit-slice form.
+    """
+
+    def __init__(self, design: Design, plan: Optional[EvalPlan] = None) -> None:
+        self.design = design
+        if plan is None:
+            from .passes import compile_plan
+            plan = compile_plan(design)
+        self.plan = plan
+
+    # ------------------------------------------------------------- accessors
+
+    @property
+    def input_names(self) -> List[str]:
+        """Primary input names (including the key port of a locked design)."""
+        return list(self.plan.inputs)
+
+    @property
+    def output_names(self) -> List[str]:
+        """Primary output names driven by combinational logic."""
+        return list(self.plan.outputs)
+
+    def width_of(self, name: str) -> int:
+        """Declared width of a signal."""
+        return self.plan.width_of(name)
+
+    # ------------------------------------------------------------ simulation
+
+    def run_batch(self, inputs: Mapping[str, Sequence[int]],
+                  key: Optional[Sequence[int]] = None,
+                  keys: Optional[Sequence[Sequence[int]]] = None,
+                  n: Optional[int] = None) -> Dict[str, List[int]]:
+        """Evaluate the design for a batch of input vectors.
+
+        Args:
+            inputs: ``{input name: [value per lane]}``; all sequences must
+                share one length, missing inputs default to 0 in every lane.
+            key: One key applied to every lane (broadcast).
+            keys: One key per lane (mutually exclusive with ``key``) — the
+                key-trial pattern: same inputs, a different key hypothesis in
+                every lane.
+            n: Lane count override, required when ``inputs`` is empty.
+
+        Returns:
+            ``{output name: [value per lane]}``.
+
+        Raises:
+            SimulationError: for unknown input names, inconsistent lane
+                counts, or invalid key bits.
+        """
+        lanes = n
+        for name, values in inputs.items():
+            if lanes is None:
+                lanes = len(values)
+            elif len(values) != lanes:
+                raise SimulationError(
+                    f"input {name!r} has {len(values)} lanes, expected {lanes}")
+        if keys is not None:
+            if key is not None:
+                raise SimulationError("pass either 'key' or 'keys', not both")
+            if lanes is None:
+                lanes = len(keys)
+            elif len(keys) != lanes:
+                raise SimulationError(
+                    f"got {len(keys)} keys for {lanes} lanes")
+        if lanes is None or lanes < 1:
+            raise SimulationError("batch needs at least one lane "
+                                  "(pass inputs or n)")
+        full = (1 << lanes) - 1
+
+        known = set(self.plan.inputs)
+        env: Dict[str, Slices] = {}
+        for name, values in inputs.items():
+            if name not in known:
+                raise SimulationError(f"{name!r} is not an input of "
+                                      f"{self.design.top_name!r}")
+            env[name] = pack_values(values, self.width_of(name))
+        for name in self.plan.inputs:
+            if name not in env:
+                env[name] = [0] * self.width_of(name)
+
+        key_port = self.plan.key_port
+        if key_port is not None:
+            if key is not None:
+                env[key_port] = _fit(_pack_key_broadcast(key, full),
+                                     self.width_of(key_port))
+            elif keys is not None:
+                env[key_port] = _fit(_pack_key_lanes(keys),
+                                     self.width_of(key_port))
+
+        execute_steps(self.plan.steps, env, full)
+
+        return {name: unpack_values(env[name], lanes)
+                for name in self.plan.outputs}
+
+    def run_sweep(self, inputs: Mapping[str, Sequence[int]],
+                  keys: Optional[Sequence[Sequence[int]]] = None,
+                  bindings: Optional[Sequence[Mapping[str, int]]] = None,
+                  n: Optional[int] = None,
+                  hoist: Optional[bool] = None) -> List[Dict[str, List[int]]]:
+        """Evaluate S sweep points over one shared input batch in one pass.
+
+        A sweep is the outer product of a *base batch* (``inputs``, V lanes)
+        and S *sweep points*, each binding its own key and/or values for
+        designated input signals.  All ``S * V`` combinations are laid out as
+        lanes of a single bit-parallel pass — the replacement for the per-key
+        loop ``[run_batch(inputs, key=k) for k in keys]``, which pays the
+        plan-interpretation overhead S times instead of once.
+
+        When the plan was compiled with sweep value-numbering (the default),
+        point-invariant steps — those reading neither a swept key port nor a
+        per-point bound signal, directly or transitively — are evaluated
+        *once* on the V base lanes and their results tiled across the S
+        point blocks, instead of being re-evaluated on all S×V lanes.
+        Identical keys on every point (the avalanche-study shape) make the
+        whole key cone point-invariant too.  Results are bit-identical
+        either way.
+
+        Args:
+            inputs: Shared base batch ``{input name: [value per lane]}``; all
+                sequences must share one length.  Signals bound per point must
+                not also appear here.
+            keys: One key per sweep point (requires a locked design).
+            bindings: Per-point input overrides ``{input name: value}``; the
+                value is broadcast over the point's base lanes.  A signal
+                bound in one point but omitted in another defaults to 0 for
+                the latter.  The key port must be swept via ``keys``.
+            n: Base lane count override, required when ``inputs`` is empty.
+            hoist: Override the plan's sweep-hoist default (``False`` forces
+                the flat S×V evaluation of every step — the pre-VN
+                behaviour, kept for benchmarking and debugging).
+
+        Returns:
+            One ``{output name: [value per base lane]}`` dict per sweep
+            point, in point order — element ``s`` equals
+            ``run_batch(inputs, key=keys[s])`` bit for bit.
+
+        Raises:
+            SimulationError: for unknown signals, inconsistent lane or point
+                counts, invalid key bits, or key sweeps on unlocked designs.
+        """
+        base = n
+        for name, values in inputs.items():
+            if base is None:
+                base = len(values)
+            elif len(values) != base:
+                raise SimulationError(
+                    f"input {name!r} has {len(values)} lanes, expected {base}")
+        if base is None or base < 1:
+            raise SimulationError("sweep needs at least one base lane "
+                                  "(pass inputs or n)")
+        points = len(keys) if keys is not None else None
+        if bindings is not None:
+            if points is None:
+                points = len(bindings)
+            elif len(bindings) != points:
+                raise SimulationError(
+                    f"got {len(bindings)} bindings for {points} sweep points")
+        if points is None or points < 1:
+            raise SimulationError("sweep needs at least one point "
+                                  "(pass keys or bindings)")
+        key_port = self.plan.key_port
+        if keys is not None and key_port is None:
+            raise SimulationError("cannot sweep keys of an unlocked design")
+
+        lanes = points * base
+        full = (1 << lanes) - 1
+        block = (1 << base) - 1
+        # Replicating a V-lane slice into every point's lane block is one
+        # multiplication by the block-comb constant 0b...0001...0001.
+        tile = full // block
+
+        known = set(self.plan.inputs)
+        bound: Set[str] = set()
+        for point in bindings or ():
+            bound.update(point)
+        for name in bound:
+            if name not in known:
+                raise SimulationError(f"{name!r} is not an input of "
+                                      f"{self.design.top_name!r}")
+            if name == key_port:
+                raise SimulationError(
+                    "sweep the key port via 'keys', not 'bindings'")
+
+        # Point-varying sources: per-point bound signals, and the key port
+        # unless every point binds the same key (then it broadcasts).
+        varying: Set[str] = set(bound)
+        shared_key: Optional[List[int]] = None
+        if keys is not None:
+            first = list(keys[0])
+            if all(list(point_key) == first for point_key in keys):
+                shared_key = first
+            else:
+                varying.add(key_port)
+
+        # Base environment at V lanes: shared inputs and zero defaults for
+        # everything that is not swept per point.
+        base_env: Dict[str, Slices] = {}
+        for name, values in inputs.items():
+            if name not in known:
+                raise SimulationError(f"{name!r} is not an input of "
+                                      f"{self.design.top_name!r}")
+            if name in bound:
+                raise SimulationError(
+                    f"input {name!r} is both shared and swept per point")
+            base_env[name] = pack_values(values, self.width_of(name))
+        for name in self.plan.inputs:
+            if name not in base_env and name not in varying:
+                base_env[name] = [0] * self.width_of(name)
+        if shared_key is not None and key_port is not None:
+            base_env[key_port] = _fit(_pack_key_broadcast(shared_key, block),
+                                      self.width_of(key_port))
+
+        do_hoist = self.plan.sweep_hoist if hoist is None else bool(hoist)
+        schedule = sweep_schedule(self.plan, frozenset(varying),
+                                  flat=not do_hoist)
+
+        # Invariant work runs once on the V base lanes...
+        execute_steps(schedule.invariant_steps, base_env, block)
+
+        # ... and only what the varying steps (or the swept-out outputs)
+        # read is tiled out to the S*V sweep lanes.
+        env: Dict[str, Slices] = {
+            name: [word * tile for word in slices]
+            for name, slices in base_env.items()
+            if name in schedule.needed
+        }
+
+        point_list = list(bindings) if bindings is not None \
+            else [{}] * points
+        for name in bound:
+            env[name] = _pack_point_values(
+                [point.get(name, 0) for point in point_list],
+                self.width_of(name), base)
+        if keys is not None and key_port is not None and shared_key is None:
+            env[key_port] = _fit(_pack_swept_keys(keys,
+                                                  self.width_of(key_port),
+                                                  base),
+                                 self.width_of(key_port))
+
+        execute_steps(schedule.varying_steps, env, full)
+
+        # Point-varying outputs: one flat unpack over all S*V lanes, then
+        # sliced per point — cheaper than points * (shift/mask + unpack) on
+        # the wide sweep words.  Point-invariant outputs unpack once from
+        # the V-lane base batch and are copied per point.
+        flat = {name: unpack_values(env[name], lanes)
+                for name in schedule.varying_outputs}
+        invariant_values = {name: unpack_values(base_env[name], base)
+                            for name in schedule.invariant_outputs}
+        results: List[Dict[str, List[int]]] = []
+        for index in range(points):
+            start = index * base
+            point_result = {name: values[start:start + base]
+                            for name, values in flat.items()}
+            for name, values in invariant_values.items():
+                point_result[name] = list(values)
+            if invariant_values:
+                point_result = {name: point_result[name]
+                                for name in self.plan.outputs}
+            results.append(point_result)
+        return results
+
+    def run(self, inputs: Mapping[str, int],
+            key: Optional[Sequence[int]] = None) -> Dict[str, int]:
+        """Single-vector convenience wrapper around :meth:`run_batch`."""
+        batch = {name: [value] for name, value in inputs.items()}
+        outputs = self.run_batch(batch, key=key, n=1)
+        return {name: values[0] for name, values in outputs.items()}
+
+    def random_batch(self, rng: random.Random,
+                     n: int) -> Dict[str, List[int]]:
+        """Draw ``n`` random vectors for every data input (key port excluded).
+
+        Delegates to :func:`repro.sim.vectors.random_vector_batch`, which
+        consumes the random stream in exactly the same order as ``n`` calls
+        to :meth:`CombinationalSimulator.random_vector`, so a shared ``rng``
+        seed produces identical test vectors on both engines.
+        """
+        from ..vectors import random_vector_batch
+        signals = [(name, self.width_of(name)) for name in self.plan.inputs
+                   if name != self.plan.key_port]
+        return random_vector_batch(signals, rng, n)

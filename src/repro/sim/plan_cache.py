@@ -25,8 +25,8 @@ from dataclasses import dataclass
 from typing import Union
 
 from ..rtlir.design import Design
-from .batch import BatchCompileError, BatchSimulator, EvalPlan, compile_plan
 from .evaluator import SimulationError
+from .plan import BatchCompileError, BatchSimulator, EvalPlan, compile_plan
 
 #: Default number of plans kept by the process-wide cache.
 DEFAULT_CACHE_SIZE = 128

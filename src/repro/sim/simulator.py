@@ -1,10 +1,15 @@
 """Combinational simulation of (locked) RTL designs.
 
-:class:`CombinationalSimulator` evaluates the continuous-assignment part of a
-module (wire initialisers and ``assign`` statements) for concrete input
-values, in dependency order.  It covers exactly the structures the synthetic
-benchmarks and the operation-locking transformations produce, and is used to
-validate the functional contract of locking:
+:class:`CombinationalSimulator` evaluates a design for one concrete input
+vector at a time.  Since the plan-compiler refactor it is a *lane-width-1
+interpreter over the same compiled plan the batch engine executes*
+(:func:`repro.sim.plan.executor.run_plan_vector`): one set of steps, kernels
+and width rules serves both engines, so scalar and batch agree by
+construction.  The original AST-walking evaluation survives as the fallback
+for constructs the plan compiler cannot express (and as the reference oracle
+for the cross-check suites, forced via ``engine="ast"``).
+
+Both execution modes validate the functional contract of locking:
 
 * with the **correct key** the locked design computes the original function,
 * with a **wrong key** the outputs (generally) differ — the output-corruption
@@ -18,12 +23,14 @@ outputs, the registered outputs are simply not reported.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..rtlir.design import Design
-from ..verilog import ast_nodes as ast
 from .evaluator import ExpressionEvaluator, SimulationError, mask
+from .plan.steps import _declared_widths, _ordered_assignments  # noqa: F401
+# (_declared_widths/_ordered_assignments stay importable from this module —
+# they moved into the plan IR with the compiler split.)
 
 
 @dataclass
@@ -45,19 +52,35 @@ class EquivalenceReport:
         return self.mismatches / self.vectors if self.vectors else 0.0
 
 
+#: Scalar execution modes: ``plan`` (lane-width-1 over the compiled plan,
+#: with automatic AST fallback) or ``ast`` (force the AST-walking oracle).
+SCALAR_ENGINES = ("plan", "ast")
+
+
 class CombinationalSimulator:
     """Evaluate the combinational outputs of a design.
 
     Args:
         design: The design to simulate (locked or not).
+        engine: ``plan`` (the default) executes the design's cached compiled
+            plan at lane width 1 — the same steps and kernels as the batch
+            engine — and falls back to AST walking automatically when the
+            plan compiler cannot express the design.  ``ast`` forces the
+            AST-walking path; the cross-check suites use it as the
+            independent reference oracle.
 
     Raises:
         SimulationError: if the combinational assignments contain a
             dependency cycle.
+        ValueError: for unknown engine names.
     """
 
-    def __init__(self, design: Design) -> None:
+    def __init__(self, design: Design, engine: str = "plan") -> None:
+        if engine not in SCALAR_ENGINES:
+            raise ValueError(f"unknown scalar engine {engine!r}; "
+                             f"expected one of {SCALAR_ENGINES}")
         self.design = design
+        self.engine = engine
         module = design.top
         self._widths = _declared_widths(module)
         self._evaluator = ExpressionEvaluator(self._widths)
@@ -69,6 +92,8 @@ class CombinationalSimulator:
                               for name in self._inputs
                               if name != design.key_port]
         self._assignments = _ordered_assignments(module)
+        self._plan: Optional[object] = None
+        self._plan_failed = False
 
     # ------------------------------------------------------------- accessors
 
@@ -89,9 +114,27 @@ class CombinationalSimulator:
 
     # ------------------------------------------------------------- simulation
 
+    def _resolve_plan(self):
+        """The design's cached compiled plan, or None for the AST fallback."""
+        if self.engine == "ast" or self._plan_failed:
+            return None
+        if self._plan is None:
+            from .plan import BatchCompileError
+            from .plan_cache import get_plan
+            try:
+                self._plan = get_plan(self.design)
+            except BatchCompileError:
+                self._plan_failed = True
+                return None
+        return self._plan
+
     def run(self, inputs: Mapping[str, int],
             key: Optional[Sequence[int]] = None) -> Dict[str, int]:
         """Evaluate the design for one input vector.
+
+        The default engine executes the compiled plan at lane width 1 —
+        bit-identical to the batch engine by construction; designs the plan
+        compiler rejects fall back to AST walking transparently.
 
         Args:
             inputs: Values for the primary data inputs (missing inputs default
@@ -105,6 +148,14 @@ class CombinationalSimulator:
         Raises:
             SimulationError: for unknown input names or evaluation failures.
         """
+        plan = self._resolve_plan()
+        if plan is not None:
+            from .plan import run_plan_vector
+            if self.design.key_port is None:
+                key = None
+            return run_plan_vector(plan, inputs, key=key,
+                                   top_name=self.design.top_name)
+
         env: Dict[str, int] = {}
         for name, value in inputs.items():
             if name not in self._inputs:
@@ -139,63 +190,6 @@ def _pack_key(key: Sequence[int]) -> int:
     return value
 
 
-def _declared_widths(module: ast.Module) -> Dict[str, int]:
-    widths: Dict[str, int] = {}
-    for port in module.ports:
-        widths[port.name] = port.width.width() if port.width else 1
-    for item in module.items:
-        if isinstance(item, ast.NetDeclaration):
-            width = item.width.width() if item.width else 1
-            for name in item.names:
-                widths[name] = width or 1
-        elif isinstance(item, ast.PortDeclaration):
-            width = item.width.width() if item.width else 1
-            for name in item.names:
-                widths.setdefault(name, width or 1)
-    return {name: (width if width else 1) for name, width in widths.items()}
-
-
-def _ordered_assignments(module: ast.Module) -> List[Tuple[str, ast.Expression]]:
-    """Collect combinational assignments and order them by dependencies."""
-    assignments: Dict[str, ast.Expression] = {}
-    for item in module.items:
-        if isinstance(item, ast.NetDeclaration) and item.init is not None:
-            assignments[item.names[0]] = item.init
-        elif isinstance(item, ast.ContinuousAssign):
-            target = _target_name(item.lhs)
-            if target is not None:
-                assignments[target] = item.rhs
-
-    # Topological order over "signal depends on signal" edges.
-    order: List[Tuple[str, ast.Expression]] = []
-    resolved: Set[str] = set()
-    pending = dict(assignments)
-    while pending:
-        progressed = False
-        for name in list(pending):
-            deps = {ident.name for ident in pending[name].iter_tree()
-                    if isinstance(ident, ast.Identifier)}
-            unresolved = deps & set(pending) - {name}
-            if not unresolved:
-                order.append((name, pending.pop(name)))
-                resolved.add(name)
-                progressed = True
-        if not progressed:
-            raise SimulationError(
-                "combinational dependency cycle involving: "
-                + ", ".join(sorted(pending)))
-    return order
-
-
-def _target_name(lhs: ast.Expression) -> Optional[str]:
-    if isinstance(lhs, ast.Identifier):
-        return lhs.name
-    if isinstance(lhs, (ast.BitSelect, ast.PartSelect, ast.IndexedPartSelect)):
-        # Partial assignments are not supported by this simulator.
-        return None
-    return None
-
-
 # ---------------------------------------------------------------------------
 # Equivalence / corruption checks
 # ---------------------------------------------------------------------------
@@ -211,7 +205,7 @@ def _batch_simulators(*designs: Design):
     Plans come from the process-wide cache, so repeated checks of the same
     designs (metric sweeps, per-sample attack validation) compile once.
     """
-    from .batch import BatchCompileError, BatchSimulator
+    from .plan import BatchCompileError, BatchSimulator
     from .plan_cache import get_plan
     try:
         return [BatchSimulator(design, plan=get_plan(design))
@@ -273,8 +267,11 @@ def check_equivalence(original: Design, locked: Design, key: Sequence[int],
             return EquivalenceReport(vectors=vectors, mismatches=mismatches,
                                      first_mismatch=first)
 
-    reference = CombinationalSimulator(original)
-    candidate = CombinationalSimulator(locked)
+    # engine="ast": the explicit scalar engine is the *independent* AST
+    # oracle — a plan-backed scalar here would cross-check the plan
+    # compiler against itself.
+    reference = CombinationalSimulator(original, engine="ast")
+    candidate = CombinationalSimulator(locked, engine="ast")
     common_outputs = set(reference.output_names) & set(candidate.output_names)
 
     mismatches = 0
@@ -315,14 +312,14 @@ def output_corruption(locked: Design, correct_key: Sequence[int],
     if engine == "batch" and vectors > 0:
         simulators = _batch_simulators(locked)
         if simulators is not None:
-            from .batch import differing_lanes
+            from .plan import differing_lanes
             (simulator,) = simulators
             batch = simulator.random_batch(rng, vectors)
             good, bad = simulator.run_sweep(
                 batch, keys=[correct_key, wrong_key], n=vectors)
             return len(differing_lanes(good, bad, n=vectors)) / vectors
 
-    simulator = CombinationalSimulator(locked)
+    simulator = CombinationalSimulator(locked, engine="ast")
     differing = 0
     for _ in range(vectors):
         vector = simulator.random_vector(rng)
@@ -384,7 +381,7 @@ def key_sweep(design: Design, inputs: Mapping[str, Sequence[int]],
             return simulator.run_sweep(inputs, keys=keys, n=lanes)
 
     from .vectors import batch_to_vectors
-    simulator = CombinationalSimulator(design)
+    simulator = CombinationalSimulator(design, engine="ast")
     vectors = batch_to_vectors(inputs, lanes)
     results: List[Dict[str, List[int]]] = []
     for key in keys:

@@ -1,0 +1,80 @@
+"""Cost-model calibration: ms-per-unit fits from manifest timing pairs."""
+
+import pytest
+
+from repro.api import (
+    CostModel,
+    fit_cost_model,
+    fit_cost_model_from_pairs,
+    fit_cost_model_from_store,
+)
+
+
+class TestFit:
+    def test_exact_linear_pairs_recover_the_slope(self):
+        # 2 ms per unit, exactly.
+        model = fit_cost_model_from_pairs([(2.0, 1000.0), (1.0, 500.0)])
+        assert model is not None
+        assert model.ms_per_unit == pytest.approx(2.0)
+        assert model.jobs == 2
+        assert model.total_elapsed == pytest.approx(3.0)
+        assert model.total_cost == pytest.approx(1500.0)
+
+    def test_fit_weights_long_jobs(self):
+        """Least squares through the origin: the big job dominates."""
+        model = fit_cost_model_from_pairs([(10.0, 1000.0), (1.0, 10.0)])
+        assert model is not None
+        big_only = 10.0 / 1000.0 * 1000.0
+        assert model.ms_per_unit == pytest.approx(big_only, rel=0.02)
+
+    def test_unusable_pairs_are_skipped(self):
+        model = fit_cost_model_from_pairs(
+            [(None, 100.0), (1.0, None), (1.0, 0.0), (-1.0, 100.0),
+             (3.0, 1500.0)])
+        assert model is not None
+        assert model.jobs == 1
+        assert model.ms_per_unit == pytest.approx(2.0)
+
+    def test_no_usable_pairs_returns_none(self):
+        assert fit_cost_model_from_pairs([]) is None
+        assert fit_cost_model_from_pairs([(None, None), (1.0, 0.0)]) is None
+
+    def test_predict_seconds(self):
+        model = CostModel(ms_per_unit=2.0, jobs=1, total_elapsed=1.0,
+                          total_cost=500.0)
+        assert model.predict_seconds(3000.0) == pytest.approx(6.0)
+        assert model.predict_seconds(0.0) == 0.0
+
+    def test_fit_from_manifest_dict(self):
+        manifest = {"jobs": [
+            {"job_id": "a", "elapsed_seconds": 4.0, "estimated_cost": 2000.0},
+            {"job_id": "b", "elapsed_seconds": 2.0, "estimated_cost": 1000.0},
+            {"job_id": "c", "elapsed_seconds": 9.9, "estimated_cost": None},
+        ]}
+        model = fit_cost_model(manifest)
+        assert model is not None
+        assert model.jobs == 2
+        assert model.ms_per_unit == pytest.approx(2.0)
+
+    def test_fit_from_manifest_without_jobs(self):
+        assert fit_cost_model({}) is None
+
+
+class TestFitFromStore:
+    def test_store_without_manifest_returns_none(self, tmp_path):
+        from repro.api import ResultsStore
+
+        assert fit_cost_model_from_store(ResultsStore(tmp_path)) is None
+
+    def test_store_with_manifest(self, tmp_path):
+        import json
+
+        from repro.api import ResultsStore
+
+        store = ResultsStore(tmp_path / "store")
+        store.root.mkdir(parents=True)
+        store.manifest_path.write_text(json.dumps({"jobs": [
+            {"elapsed_seconds": 1.0, "estimated_cost": 500.0}]}))
+        model = fit_cost_model_from_store(store)
+        assert model is not None
+        assert model.ms_per_unit == pytest.approx(2.0)

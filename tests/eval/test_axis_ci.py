@@ -1,0 +1,95 @@
+"""Per-(benchmark, axis) sweep aggregation and seed-axis confidence intervals."""
+
+import math
+
+import pytest
+
+from repro.eval import (
+    AxisSweepData,
+    axis_sweep_table_text,
+    axis_sweeps_from_records,
+)
+
+
+def _attack_record(benchmark, locker, kpa, axes):
+    return {"kind": "attack", "benchmark": benchmark, "locker": locker,
+            "result": {"kpa": kpa}, "axes": axes}
+
+
+RECORDS = [
+    # key-budget axis swept over two seeds on two benchmarks
+    _attack_record("SASC", "era", 50.0, {"key_budget_fraction": 0.25,
+                                         "seed": 1}),
+    _attack_record("SASC", "era", 60.0, {"key_budget_fraction": 0.25,
+                                         "seed": 2}),
+    _attack_record("SASC", "era", 70.0, {"key_budget_fraction": 0.75,
+                                         "seed": 1}),
+    _attack_record("SASC", "era", 80.0, {"key_budget_fraction": 0.75,
+                                         "seed": 2}),
+    _attack_record("MD5", "era", 90.0, {"key_budget_fraction": 0.25,
+                                        "seed": 1}),
+    _attack_record("MD5", "era", 90.0, {"key_budget_fraction": 0.25,
+                                        "seed": 2}),
+    # a metric record never contributes
+    {"kind": "metric", "benchmark": "SASC", "locker": "era",
+     "metric": "avalanche", "axes": {"seed": 1}, "result": {"mean": 0.1}},
+]
+
+
+class TestAggregate:
+    def test_aggregate_means_span_benchmarks(self):
+        sweeps = {s.axis: s for s in axis_sweeps_from_records(RECORDS)}
+        kb = sweeps["key_budget_fraction"]
+        assert kb.benchmark is None
+        assert kb.values == [0.25, 0.75]
+        # 0.25 cell averages SASC (50, 60) and MD5 (90, 90)
+        assert kb.kpa[0.25]["era"] == pytest.approx(72.5)
+        assert kb.counts[0.25]["era"] == 4
+
+    def test_axis_order_is_canonical(self):
+        axes = [s.axis for s in axis_sweeps_from_records(RECORDS)]
+        assert axes == ["seed", "key_budget_fraction"]
+
+    def test_ci_half_width_matches_hand_computation(self):
+        sweeps = {s.axis: s for s in axis_sweeps_from_records(RECORDS)}
+        kb = sweeps["key_budget_fraction"]
+        values = [50.0, 60.0, 90.0, 90.0]
+        mean = sum(values) / 4
+        var = sum((v - mean) ** 2 for v in values) / 3  # ddof=1
+        expected = 1.96 * math.sqrt(var) / math.sqrt(4)
+        assert kb.kpa_ci[0.25]["era"] == pytest.approx(expected)
+
+    def test_single_record_cells_have_zero_ci(self):
+        records = [_attack_record("SASC", "era", 55.0, {"seed": 7})]
+        (sweep,) = axis_sweeps_from_records(records)
+        assert sweep.kpa_ci[7]["era"] == 0.0
+
+
+class TestPerBenchmark:
+    def test_per_benchmark_grouping(self):
+        sweeps = axis_sweeps_from_records(RECORDS, per_benchmark=True)
+        keys = [(s.benchmark, s.axis) for s in sweeps]
+        assert keys == [("MD5", "seed"), ("MD5", "key_budget_fraction"),
+                        ("SASC", "seed"), ("SASC", "key_budget_fraction")]
+        sasc_kb = next(s for s in sweeps
+                       if s.benchmark == "SASC"
+                       and s.axis == "key_budget_fraction")
+        assert sasc_kb.kpa[0.25]["era"] == pytest.approx(55.0)
+        assert sasc_kb.counts[0.75]["era"] == 2
+
+    def test_benchmark_scoped_table_title(self):
+        sweeps = axis_sweeps_from_records(RECORDS, per_benchmark=True)
+        sasc_kb = next(s for s in sweeps if s.benchmark == "SASC"
+                       and s.axis == "key_budget_fraction")
+        text = axis_sweep_table_text(sasc_kb)
+        assert "SASC, scenario matrix axis" in text
+
+    def test_multi_record_cells_render_with_ci(self):
+        sweeps = {s.axis: s for s in axis_sweeps_from_records(RECORDS)}
+        text = axis_sweep_table_text(sweeps["key_budget_fraction"])
+        assert "±" in text
+
+    def test_legacy_positional_construction_still_works(self):
+        sweep = AxisSweepData("seed", [1], {1: {"era": 50.0}},
+                              {1: {"era": 1}})
+        assert "50.00" in axis_sweep_table_text(sweep)

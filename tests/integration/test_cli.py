@@ -343,6 +343,141 @@ class TestReport:
         assert "not a results store" in capsys.readouterr().err
 
 
+class TestReportJson:
+    """``repro-lock report --json``: machine-readable Fig. 6 + sweep data."""
+
+    def test_json_round_trips_the_store_aggregates(self, tmp_path, capsys):
+        store = TestReport._run_scenario(tmp_path, capsys,
+                                         TestReport.MATRIX_SCENARIO,
+                                         "json_store")
+        json_path = tmp_path / "report.json"
+        assert main(["report", str(store), "--json", str(json_path)]) == 0
+        capsys.readouterr()
+        payload = json.loads(json_path.read_text())
+
+        # Round trip: the JSON numbers equal the figure builders' output.
+        from repro.api import ResultsStore
+        from repro.eval import axis_sweeps_from_store, figure6_from_store
+
+        fig6 = figure6_from_store(ResultsStore(store))
+        assert payload["figure6"]["average"] == fig6.average
+        assert payload["figure6"]["per_benchmark"] == fig6.per_benchmark
+
+        sweeps = {s.axis: s for s in axis_sweeps_from_store(
+            ResultsStore(store))}
+        assert {entry["axis"] for entry in payload["axis_sweeps"]} \
+            == set(sweeps)
+        for entry in payload["axis_sweeps"]:
+            sweep = sweeps[entry["axis"]]
+            assert [row["value"] for row in entry["rows"]] == sweep.values
+            for row in entry["rows"]:
+                assert row["kpa"] == sweep.kpa[row["value"]]
+                assert row["ci95"] == sweep.kpa_ci[row["value"]]
+                assert row["counts"] == sweep.counts[row["value"]]
+
+        # Scenario identity and completion survive the round trip too.
+        assert payload["completion"]["complete"] is True
+        from repro.api import Scenario
+
+        restored = Scenario.from_dict(payload["scenario"], validate=False)
+        assert restored.fingerprint() == payload["scenario_fingerprint"]
+        assert payload["timing"], "manifest timing pairs missing"
+        for entry in payload["benchmark_axis_sweeps"]:
+            assert entry["benchmark"] == "SASC"
+
+    def test_json_on_partial_store_degrades_gracefully(self, tmp_path,
+                                                       capsys):
+        store = TestReport._run_scenario(tmp_path, capsys,
+                                         TestReport.SINGLE_SCENARIO,
+                                         "json_partial")
+        (store / "manifest.json").unlink()
+        json_path = tmp_path / "partial.json"
+        assert main(["report", str(store), "--json", str(json_path)]) == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["timing"] == []
+        assert payload["figure6"]["average"]
+        assert payload["axis_sweeps"] == []
+
+
+class TestDryRun:
+    """``repro-lock run --dry-run``: job plan + calibrated wall-time ETA."""
+
+    def test_dry_run_executes_nothing(self, tmp_path, capsys):
+        scenario_file = tmp_path / "scenario.json"
+        scenario_file.write_text(TestReport.SINGLE_SCENARIO)
+        store = tmp_path / "dry_store"
+        assert main(["run", str(scenario_file), "--store", str(store),
+                     "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "Dry run — nothing was executed" in out
+        assert "1 to execute" in out
+        assert "No calibration data" in out
+        assert not store.exists()
+
+    def test_dry_run_eta_calibrates_from_the_stores_manifest(self, tmp_path,
+                                                             capsys):
+        store = TestReport._run_scenario(tmp_path, capsys,
+                                         TestReport.SINGLE_SCENARIO,
+                                         "eta_store")
+        scenario_file = tmp_path / "scenario.json"
+        scenario_file.write_text(TestReport.SINGLE_SCENARIO)
+        assert main(["run", str(scenario_file), "--store", str(store),
+                     "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "0 to execute" in out
+        assert "Cost model:" in out
+        assert "ms/unit" in out
+
+    def test_dry_run_calibrates_from_a_foreign_manifest(self, tmp_path,
+                                                        capsys):
+        store = TestReport._run_scenario(tmp_path, capsys,
+                                         TestReport.SINGLE_SCENARIO,
+                                         "calib_store")
+        scenario_file = tmp_path / "scenario.json"
+        scenario_file.write_text(TestReport.SINGLE_SCENARIO)
+        fresh = tmp_path / "fresh_store"
+        assert main(["run", str(scenario_file), "--store", str(fresh),
+                     "--dry-run", "--calibrate-from",
+                     str(store / "manifest.json")]) == 0
+        out = capsys.readouterr().out
+        assert "1 to execute" in out
+        assert "Cost model:" in out
+        assert "ETA (s)" in out
+
+    def test_dry_run_rejects_unreadable_calibration_source(self, tmp_path,
+                                                           capsys):
+        scenario_file = tmp_path / "scenario.json"
+        scenario_file.write_text(TestReport.SINGLE_SCENARIO)
+        assert main(["run", str(scenario_file), "--store",
+                     str(tmp_path / "s"), "--dry-run", "--calibrate-from",
+                     str(tmp_path / "absent.json")]) == 1
+        assert "cannot calibrate" in capsys.readouterr().err
+
+    def test_dry_run_rejects_a_foreign_scenarios_store(self, tmp_path,
+                                                       capsys):
+        """Same identity check as the real run: a plan computed against
+        another scenario's store would be fiction."""
+        store = TestReport._run_scenario(tmp_path, capsys,
+                                         TestReport.SINGLE_SCENARIO,
+                                         "foreign_store")
+        other = tmp_path / "other.json"
+        other.write_text(TestReport.MATRIX_SCENARIO)
+        assert main(["run", str(other), "--store", str(store),
+                     "--dry-run"]) == 1
+        assert "different scenario" in capsys.readouterr().err
+
+    def test_dry_run_rejects_non_object_calibration_json(self, tmp_path,
+                                                         capsys):
+        scenario_file = tmp_path / "scenario.json"
+        scenario_file.write_text(TestReport.SINGLE_SCENARIO)
+        bogus = tmp_path / "records.json"
+        bogus.write_text("[1, 2, 3]")
+        assert main(["run", str(scenario_file), "--store",
+                     str(tmp_path / "s"), "--dry-run", "--calibrate-from",
+                     str(bogus)]) == 1
+        assert "cannot calibrate" in capsys.readouterr().err
+
+
 class TestSimBench:
     def test_suite_reports_engines_and_sweeps(self, capsys):
         code = main(["sim-bench", "--vectors", "16", "--keys", "8",
@@ -357,18 +492,25 @@ class TestSimBench:
         json_path = tmp_path / "BENCH_sim.json"
         code = main(["sim-bench", "--vectors", "16", "--keys", "8",
                      "--scale", "0.1", "--repeats", "1",
-                     "--json", str(json_path)])
+                     "--vn-vectors", "64", "--json", str(json_path)])
         assert code == 0
         payload = json.loads(json_path.read_text())
-        assert {"engines", "key_sweeps"} == set(payload)
+        assert {"engines", "key_sweeps", "sweep_vn"} == set(payload)
         assert payload["engines"], "engine comparisons missing"
         assert payload["key_sweeps"], "key-sweep comparisons missing"
+        assert payload["sweep_vn"], "sweep-VN comparisons missing"
         for entry in payload["engines"]:
             assert entry["outputs_match"] is True
             assert entry["speedup"] > 0
         for entry in payload["key_sweeps"]:
             assert entry["outputs_match"] is True
             assert {"cse_steps", "pruned_steps"} <= set(entry)
+        for entry in payload["sweep_vn"]:
+            assert entry["outputs_match"] is True
+            assert {"invariant_steps", "total_steps",
+                    "hoisted_subexprs"} <= set(entry)
+        designs = {entry["design"] for entry in payload["sweep_vn"]}
+        assert designs == {"i2c_sl_era", "md5_scaled_era"}
 
     def test_avalanche_flag_reports_sensitivity(self, capsys):
         code = main(["sim-bench", "--vectors", "8", "--keys", "4",
