@@ -28,7 +28,7 @@ from repro.sim import (
     random_key,
 )
 from repro.sim.bench import (compare_engines, compare_key_sweep,
-                             compare_sweep_vn)
+                             compare_pipelined_sweep, compare_sweep_vn)
 from repro.verilog import generate, parse
 
 from .conftest import write_result
@@ -252,6 +252,81 @@ def test_sweep_vn_stats_report_per_pass_deltas(era_locked_i2c):
     assert plan.stats.invariant_steps > 0
     assert plan.stats.hoisted_subexprs > 0
     assert plan.sweep_hoist
+
+
+# ---------------------------------------------------------------------------
+# Memory-bounded pipelined sweeps
+# ---------------------------------------------------------------------------
+
+
+#: Fixed peak-memory budget of the 10^6-lane sweep gate.  Measured peaks:
+#: ~19 MB chunked (1.5x headroom), ~38 MB unchunked — so the gate fails
+#: without chunking and the budget is a real bound, not a formality.
+PIPELINED_SWEEP_MEMORY_BUDGET_BYTES = 28 * 1024 * 1024
+
+
+def test_pipelined_sweep_memory_gate_at_million_lanes(results_dir,
+                                                      era_locked_i2c):
+    """Acceptance gate: a 10^6-lane sweep stays under a fixed memory budget.
+
+    2048 keys x 512 vectors = 1,048,576 sweep lanes on the ERA-locked
+    I2C_SL, tiled at ``max_lanes=65536`` (128-point tiles).  The tracemalloc
+    peak of the tiled run must stay under the fixed budget — the unchunked
+    pass exceeds it — and spot-checked points must match ``run_batch``
+    bit for bit.
+    """
+    import tracemalloc
+
+    keys_n, vectors, max_lanes = 2048, 512, 65536
+    simulator = BatchSimulator(era_locked_i2c)
+    rng = random.Random(0)
+    batch = simulator.random_batch(rng, vectors)
+    keys = [random_key(era_locked_i2c.key_width, rng) for _ in range(keys_n)]
+
+    tracemalloc.start()
+    try:
+        results = simulator.run_sweep(batch, keys=keys, n=vectors,
+                                      max_lanes=max_lanes)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+
+    assert len(results) == keys_n
+    for index in (0, keys_n // 2, keys_n - 1):
+        assert results[index] == simulator.run_batch(batch, key=keys[index],
+                                                     n=vectors)
+    write_result(results_dir, "pipelined_sweep_memory",
+                 f"design=i2c_sl_era keys={keys_n} vectors={vectors} "
+                 f"lanes={keys_n * vectors} max_lanes={max_lanes} "
+                 f"peak={peak / 1e6:.1f}MB "
+                 f"budget={PIPELINED_SWEEP_MEMORY_BUDGET_BYTES / 1e6:.1f}MB")
+    assert peak <= PIPELINED_SWEEP_MEMORY_BUDGET_BYTES, (
+        f"10^6-lane pipelined sweep peaked at {peak / 1e6:.1f} MB, over the "
+        f"{PIPELINED_SWEEP_MEMORY_BUDGET_BYTES / 1e6:.1f} MB budget")
+
+
+def test_pipelined_sweep_throughput_gate(results_dir, era_locked_i2c):
+    """Acceptance gate: tiling costs <= 10% throughput where both paths fit.
+
+    256 keys x 512 vectors fits unchunked and tiled (8 tiles at
+    ``max_lanes=16384``); the tiled run must deliver >= 90% of the
+    unchunked throughput with bit-identical outputs.
+    """
+    comparison = compare_pipelined_sweep(era_locked_i2c, keys=256,
+                                         vectors=512, max_lanes=16384,
+                                         rng=random.Random(0), repeats=3)
+    assert comparison.outputs_match
+    assert comparison.chunked_peak_bytes < comparison.unchunked_peak_bytes
+    write_result(results_dir, "pipelined_sweep_throughput",
+                 f"design={comparison.design_name} keys=256 vectors=512 "
+                 f"max_lanes=16384 tiles={comparison.tiles} "
+                 f"full={comparison.unchunked_seconds * 1e3:.2f}ms "
+                 f"tiled={comparison.chunked_seconds * 1e3:.2f}ms "
+                 f"throughput={comparison.throughput_ratio:.2f}x "
+                 f"mem={comparison.memory_ratio:.2f}x")
+    assert comparison.throughput_ratio >= 0.9, (
+        f"pipelined sweep delivers only "
+        f"{comparison.throughput_ratio:.2f}x of unchunked throughput")
 
 
 def test_plan_cache_hit_rate_in_attack_validation(locked_md5):

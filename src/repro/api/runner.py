@@ -30,6 +30,7 @@ parallel executions of the same scenario produce bit-identical records.
 
 from __future__ import annotations
 
+import logging
 import random
 import time
 import traceback
@@ -44,6 +45,8 @@ from .store import ResultsStore
 
 #: Signature of the runner progress callback: ``progress(done, total, record)``.
 ProgressFn = Callable[[int, int, Dict], None]
+
+_log = logging.getLogger(__name__)
 
 #: Base designs kept per process (jobs share them read-only).
 _DESIGN_CACHE_SIZE = 8
@@ -109,7 +112,8 @@ def key_budget_for(job: JobSpec, num_operations: int) -> int:
                       job.locker.algorithm, num_operations)
 
 
-def execute_job(job: JobSpec, pair_table=None) -> Dict:
+def execute_job(job: JobSpec, pair_table=None,
+                max_lanes: Optional[int] = None) -> Dict:
     """Execute one job and return its (JSON-ready) record.
 
     The lock step replays the exact seeding of the historical
@@ -118,9 +122,21 @@ def execute_job(job: JobSpec, pair_table=None) -> Dict:
     sweep-value-numbering tags included — is warmed into the process-wide
     cache before any simulation-backed step, so every key sweep and metric
     inside the job starts from a cache hit.
-    """
-    from ..sim import warm_plan_cache
 
+    The whole job runs under a :func:`repro.sim.lane_limit` scope —
+    ``max_lanes`` (the runner override) if set, else the job's scenario-level
+    ``max_lanes``, else ``"auto"`` — so every simulation sweep inside it is
+    memory-bounded by default.  Tiling is bit-identical to the unchunked
+    pass, so records are unchanged.
+    """
+    from ..sim import lane_limit, warm_plan_cache
+
+    effective = max_lanes if max_lanes is not None else job.max_lanes
+    with lane_limit(effective if effective is not None else "auto"):
+        return _execute_job_body(job, pair_table, warm_plan_cache)
+
+
+def _execute_job_body(job: JobSpec, pair_table, warm_plan_cache) -> Dict:
     started = time.perf_counter()
     design = _load_base_design(job.benchmark, job.scale, job.seed)
     num_operations = design.num_operations()
@@ -236,6 +252,7 @@ def schedule_chunks(todo: Sequence[Tuple[int, JobSpec]],
 
 
 def _run_job_group(scenario_dict: Dict, indices: Sequence[int],
+                   max_lanes: Optional[int] = None,
                    ) -> List[Tuple[int, Optional[Dict], Optional[str]]]:
     """Worker entry point: execute a group of jobs of one scenario.
 
@@ -253,7 +270,8 @@ def _run_job_group(scenario_dict: Dict, indices: Sequence[int],
     results: List[Tuple[int, Optional[Dict], Optional[str]]] = []
     for index in indices:
         try:
-            results.append((index, execute_job(jobs[index]), None))
+            results.append((index, execute_job(jobs[index],
+                                               max_lanes=max_lanes), None))
         except Exception:
             results.append((index, None, traceback.format_exc()))
     return results
@@ -315,27 +333,35 @@ class Runner:
         pair_table: Runtime pair-table override handed to lockers and
             attacks.  Pair tables are live objects, not scenario data, so
             they are only supported for in-process runs (``jobs=1``).
+        max_lanes: Runtime override of the scenario's ``max_lanes`` lane
+            limit (peak lane width of one bit-parallel simulation pass).
+            When both are unset, jobs run under the automatic per-plan cap
+            (:func:`repro.sim.auto_max_lanes`); tiling is bit-identical, so
+            records never depend on the setting.
 
     Raises:
-        ValueError: for a non-positive ``jobs`` count or a ``pair_table``
-            combined with a process pool.
+        ValueError: for a non-positive ``jobs`` count, a non-positive
+            ``max_lanes``, or a ``pair_table`` combined with a process pool.
     """
 
     def __init__(self, scenario: Scenario, store: Optional[ResultsStore] = None,
                  jobs: int = 1, resume: bool = True,
                  progress: Optional[ProgressFn] = None,
-                 pair_table=None) -> None:
+                 pair_table=None, max_lanes: Optional[int] = None) -> None:
         if jobs < 1:
             raise ValueError("jobs must be positive")
         if pair_table is not None and jobs > 1:
             raise ValueError("a runtime pair_table requires jobs=1 "
                              "(pair tables are not scenario data)")
+        if max_lanes is not None and max_lanes < 1:
+            raise ValueError("max_lanes must be positive")
         self.scenario = scenario
         self.store = store
         self.jobs = jobs
         self.resume = resume
         self.progress = progress
         self.pair_table = pair_table
+        self.max_lanes = max_lanes
 
     # ---------------------------------------------------------------- running
 
@@ -356,6 +382,12 @@ class Runner:
 
         self.scenario.validate()
         if self.store is not None:
+            # A run killed mid-write leaves *.json.tmp files behind; sweep
+            # them before anything reads the store so they never accumulate.
+            swept = self.store.sweep_temp_files()
+            if swept:
+                _log.warning("removed %d stale temp file(s) from %s",
+                             swept, self.store.root)
             stamp = self.store.scenario_stamp()
             if stamp is not None and stamp != self.scenario.fingerprint():
                 if self.resume:
@@ -379,7 +411,18 @@ class Runner:
         for index, job in enumerate(jobs):
             if (self.resume and self.store is not None
                     and self.store.has(job.job_id)):
-                record = self.store.load(job.job_id)
+                try:
+                    record = self.store.load(job.job_id)
+                except StoreError:
+                    # A record truncated by a crash mid-write is as good as
+                    # missing: drop it and re-execute the job instead of
+                    # killing the whole resumed run.
+                    _log.warning("discarding unreadable record %r in %s; "
+                                 "the job will be re-executed",
+                                 job.job_id, self.store.root)
+                    self.store.discard(job.job_id)
+                    todo.append((index, job))
+                    continue
                 report.records[job.job_id] = record
                 report.skipped += 1
                 done += 1
@@ -393,7 +436,8 @@ class Runner:
         try:
             if self.jobs == 1 or len(todo) <= 1:
                 for _, job in todo:
-                    record = execute_job(job, pair_table=self.pair_table)
+                    record = execute_job(job, pair_table=self.pair_table,
+                                         max_lanes=self.max_lanes)
                     done += 1
                     self._commit(report, job, record, done, len(jobs))
             else:
@@ -428,7 +472,10 @@ class Runner:
         Raises:
             JobExecutionError: after the pool drains, when any job failed —
                 every completed job was committed first, so a resumed run
-                re-executes only the failures.
+                re-executes only the failures.  A crashed worker process
+                (e.g. OOM killing the pool) fails its chunk's jobs the same
+                way instead of aborting the drain loop, so records from
+                other finished futures are still committed.
         """
         scenario_dict = self.scenario.to_dict()
         chunks = schedule_chunks(todo, self.jobs)
@@ -437,12 +484,24 @@ class Runner:
         by_index = {index: job for index, job in todo}
         failures: List[Tuple[str, str]] = []
         with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-            pending = {pool.submit(_run_job_group, scenario_dict, chunk)
+            pending = {pool.submit(_run_job_group, scenario_dict, chunk,
+                                   self.max_lanes): chunk
                        for chunk in chunks}
             while pending:
-                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
                 for future in finished:
-                    for index, record, error in future.result():
+                    chunk = pending.pop(future)
+                    try:
+                        group = future.result()
+                    except Exception:
+                        # BrokenProcessPool and friends: the whole chunk is
+                        # lost, but the drain loop must keep committing the
+                        # groups that did finish.
+                        error = traceback.format_exc()
+                        failures.extend((by_index[index].job_id, error)
+                                        for index in chunk)
+                        continue
+                    for index, record, error in group:
                         if error is not None:
                             failures.append((by_index[index].job_id, error))
                             continue

@@ -288,6 +288,7 @@ class JobSpec:
     metric: Optional[MetricSpec] = None
     metric_index: int = 0
     axes: Tuple[Tuple[str, object], ...] = ()
+    max_lanes: Optional[int] = None
 
     def __post_init__(self) -> None:
         _require(self.kind in ("attack", "metric"),
@@ -398,6 +399,12 @@ class Scenario:
             ``seed``: the whole workload repeats once per listed seed
             (seed-robustness studies), each repetition tagged ``seed<value>``
             in the ``job_id``.
+        max_lanes: Peak lane width of one bit-parallel simulation pass in
+            every job of the scenario; sweeps wider than this stream through
+            fixed-size point tiles with bit-identical results.  ``None``
+            (the default) lets the runner derive an automatic per-plan cap
+            from the plan width, so scenario runs are memory-bounded either
+            way.
     """
 
     name: str = "scenario"
@@ -409,11 +416,14 @@ class Scenario:
     scale: float = 1.0
     seed: int = 0
     seeds: Tuple[int, ...] = ()
+    max_lanes: Optional[int] = None
 
     def __post_init__(self) -> None:
         _require(bool(self.name), "scenario name is required")
         _require(self.samples >= 1, "samples must be positive")
         _require(self.scale > 0, "scale must be positive")
+        _require(self.max_lanes is None or self.max_lanes >= 1,
+                 f"max_lanes must be positive, got {self.max_lanes}")
         _require(bool(self.benchmarks), "scenario needs at least one benchmark")
         _require(bool(self.lockers), "scenario needs at least one locker")
         _require(bool(self.attacks) or bool(self.metrics),
@@ -506,6 +516,8 @@ class Scenario:
         data = json.loads(json.dumps(asdict(self)))
         if not data.get("seeds"):
             data.pop("seeds", None)
+        if data.get("max_lanes") is None:
+            data.pop("max_lanes", None)
         for component_key, axis_key in (("lockers", "key_budget_fractions"),
                                         ("attacks", "time_budgets")):
             for entry in data.get(component_key, ()):
@@ -527,7 +539,8 @@ class Scenario:
                 ``validate``) unknown component names.
         """
         _check_keys(data, ("name", "benchmarks", "lockers", "attacks",
-                           "metrics", "samples", "scale", "seed", "seeds"),
+                           "metrics", "samples", "scale", "seed", "seeds",
+                           "max_lanes"),
                     "scenario")
         scenario = cls(
             name=str(data.get("name", "scenario")),
@@ -542,6 +555,8 @@ class Scenario:
             scale=float(data.get("scale", 1.0)),
             seed=int(data.get("seed", 0)),
             seeds=tuple(int(value) for value in data.get("seeds", ())),
+            max_lanes=(int(data["max_lanes"])
+                       if data.get("max_lanes") is not None else None),
         )
         if validate:
             scenario.validate()
@@ -641,12 +656,13 @@ class Scenario:
                     kind="attack", benchmark=benchmark, locker=locker,
                     sample=sample, seed=seed, scale=self.scale,
                     attack=point_attack, attack_index=attack_index,
-                    axes=axes))
+                    axes=axes, max_lanes=self.max_lanes))
         for metric_index, metric in enumerate(self.metrics):
             jobs.append(JobSpec(
                 kind="metric", benchmark=benchmark, locker=locker,
                 sample=sample, seed=seed, scale=self.scale,
-                metric=metric, metric_index=metric_index, axes=base_axes))
+                metric=metric, metric_index=metric_index, axes=base_axes,
+                max_lanes=self.max_lanes))
         return jobs
 
     # ------------------------------------------------------------ conversions

@@ -125,6 +125,27 @@ class ResultsStore:
                 path.unlink()
         if self.manifest_path.exists():
             self.manifest_path.unlink()
+        self.sweep_temp_files()
+
+    def sweep_temp_files(self) -> int:
+        """Delete ``*.json.tmp`` leftovers of runs killed mid-write.
+
+        Every store write goes through a temp file + atomic rename, so a
+        ``.tmp`` file only survives a crash between the two steps; its
+        content is at best a duplicate and at worst truncated.  The runner
+        sweeps at the start of every run so the leftovers never accumulate.
+
+        Returns:
+            The number of files removed.
+        """
+        removed = 0
+        for directory in (self.root, self.jobs_dir):
+            if not directory.exists():
+                continue
+            for path in directory.glob("*.json.tmp"):
+                path.unlink()
+                removed += 1
+        return removed
 
     # ---------------------------------------------------------------- records
 
@@ -159,11 +180,28 @@ class ResultsStore:
         except json.JSONDecodeError as exc:
             raise StoreError(f"corrupt record {path}: {exc}") from exc
 
+    def discard(self, job_id: str) -> bool:
+        """Delete one job record if present (used for unreadable records).
+
+        Returns:
+            True when a record file was removed.
+        """
+        path = self.record_path(job_id)
+        if not path.exists():
+            return False
+        path.unlink()
+        return True
+
     def job_ids(self) -> List[str]:
-        """Sorted ids of every stored job record."""
+        """Sorted ids of every stored job record.
+
+        Only ``*.json`` files count: ``*.json.tmp`` leftovers of a killed
+        run are never records (see :meth:`sweep_temp_files`).
+        """
         if not self.jobs_dir.exists():
             return []
-        return sorted(path.stem for path in self.jobs_dir.glob("*.json"))
+        return sorted(path.stem for path in self.jobs_dir.glob("*.json")
+                      if path.suffix == ".json")
 
     def records(self) -> Iterator[Dict]:
         """Iterate over every stored record (sorted by job id)."""

@@ -321,9 +321,14 @@ def cmd_run(args: argparse.Namespace) -> int:
               f"/{record['locker']}/{label} s{record['sample']}"
               f" ({record.get('elapsed_seconds', 0.0):.2f}s)")
 
+    if args.max_lanes is not None and args.max_lanes < 1:
+        print("error: --max-lanes must be positive", file=sys.stderr)
+        return 1
+
     try:
         report = Runner(scenario, store=store, jobs=args.jobs,
-                        resume=not args.no_resume, progress=progress).run()
+                        resume=not args.no_resume, progress=progress,
+                        max_lanes=args.max_lanes).run()
     except (ScenarioError, StoreError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -393,9 +398,12 @@ def cmd_report(args: argparse.Namespace) -> int:
 def cmd_sim_bench(args: argparse.Namespace) -> int:
     """Compare the simulation engines and the key-sweep fast path."""
     from .sim.bench import (compare_engines, compare_key_sweep,
-                            compare_sweep_vn, default_suite, format_report,
-                            format_sweep_report, format_vn_report,
-                            report_json, run_sweep_vn_microbenchmark)
+                            compare_pipelined_sweep, compare_sweep_vn,
+                            default_suite, format_pipelined_report,
+                            format_report, format_sweep_report,
+                            format_vn_report, report_json,
+                            run_pipelined_sweep_microbenchmark,
+                            run_sweep_vn_microbenchmark)
 
     if args.vectors < 1:
         raise SystemExit("error: --vectors must be positive")
@@ -405,6 +413,8 @@ def cmd_sim_bench(args: argparse.Namespace) -> int:
         raise SystemExit("error: --keys must be positive")
     if args.vn_vectors < 1:
         raise SystemExit("error: --vn-vectors must be positive")
+    if args.max_lanes < 1:
+        raise SystemExit("error: --max-lanes must be positive")
     from .sim import BatchCompileError
 
     if args.input is not None:
@@ -437,6 +447,18 @@ def cmd_sim_bench(args: argparse.Namespace) -> int:
             vn_sweeps = run_sweep_vn_microbenchmark(
                 keys=args.keys, vectors=args.vn_vectors, scale=args.scale,
                 seed=args.seed, repeats=args.repeats)
+        if args.input is not None:
+            pipelined = [compare_pipelined_sweep(
+                             design, keys=args.keys, vectors=args.vn_vectors,
+                             max_lanes=args.max_lanes,
+                             rng=random.Random(args.seed),
+                             repeats=args.repeats, label=label)
+                         for label, design in suite if design.is_locked]
+        else:
+            pipelined = run_pipelined_sweep_microbenchmark(
+                keys=args.keys, vectors=args.vn_vectors,
+                max_lanes=args.max_lanes, scale=args.scale,
+                seed=args.seed, repeats=args.repeats)
     except BatchCompileError as exc:
         raise SystemExit(f"error: design is not batch-compilable ({exc}); "
                          "only the scalar engine can simulate it")
@@ -447,6 +469,9 @@ def cmd_sim_bench(args: argparse.Namespace) -> int:
     if vn_sweeps:
         print()
         print(format_vn_report(vn_sweeps))
+    if pipelined:
+        print()
+        print(format_pipelined_report(pipelined))
     if args.avalanche:
         from .locking.metrics import avalanche_sensitivity
         from .sim import SimulationError
@@ -471,12 +496,13 @@ def cmd_sim_bench(args: argparse.Namespace) -> int:
                         "flipped per single-bit input flip)"))
     if args.json is not None:
         args.json.write_text(json.dumps(report_json(results, sweeps,
-                                                    vn_sweeps),
+                                                    vn_sweeps, pipelined),
                                         indent=2) + "\n")
         print(f"\nJSON report written to {args.json}")
     mismatched = (any(not item.outputs_match for item in results)
                   or any(not item.outputs_match for item in sweeps)
-                  or any(not item.outputs_match for item in vn_sweeps))
+                  or any(not item.outputs_match for item in vn_sweeps)
+                  or any(not item.outputs_match for item in pipelined))
     if mismatched:
         print("\nERROR: measured paths disagree — the batch plan is "
               "unsound here.")
@@ -582,6 +608,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--calibrate-from", type=Path, default=None,
                      help="manifest.json of a past run to fit the "
                           "ms-per-cost-unit model from (--dry-run ETAs)")
+    run.add_argument("--max-lanes", type=int, default=None,
+                     help="cap simulation sweeps at this many parallel lanes "
+                          "per tile (default: scenario setting, else an "
+                          "automatic per-plan memory budget)")
     run.set_defaults(func=cmd_run)
 
     report = subparsers.add_parser(
@@ -616,6 +646,9 @@ def build_parser() -> argparse.ArgumentParser:
     sim_bench.add_argument("--vn-vectors", type=int, default=512,
                            help="shared vectors per sweep value-numbering "
                                 "comparison (64 keys x this many lanes)")
+    sim_bench.add_argument("--max-lanes", type=int, default=16384,
+                           help="lane cap per tile for the pipelined-sweep "
+                                "comparison (chunked vs. unchunked)")
     sim_bench.add_argument("--scale", type=float, default=0.25,
                            help="benchmark scale of the built-in suite")
     sim_bench.add_argument("--repeats", type=int, default=3)

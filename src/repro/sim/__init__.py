@@ -27,7 +27,10 @@ On top of per-vector batching, three layers serve the attack-side hot loops:
 
 * :func:`key_sweep` / :meth:`BatchSimulator.run_sweep` — N key hypotheses (or
   per-point input bindings) evaluate as lanes of *one* pass instead of N
-  batch calls, with automatic per-key scalar fallback,
+  batch calls, with automatic per-key scalar fallback; a ``max_lanes`` knob
+  (or the process-wide :func:`lane_limit` default) streams million-lane
+  sweeps through fixed-size point tiles with bounded peak memory and
+  bit-identical results,
 * :func:`get_plan` — a process-wide LRU plan cache keyed by
   :meth:`Design.fingerprint() <repro.rtlir.design.Design.fingerprint>`, so
   equivalence checks, metrics, KPA and SnapShot stop recompiling one design,
@@ -39,6 +42,7 @@ On top of per-vector batching, three layers serve the attack-side hot loops:
 
 from .evaluator import ExpressionEvaluator, SimulationError, mask
 from .plan import (
+    DEFAULT_LANE_BITS_BUDGET,
     PASS_ORDER,
     BatchCompileError,
     BatchSimulator,
@@ -47,10 +51,15 @@ from .plan import (
     PassManager,
     PlanStats,
     Step,
+    auto_max_lanes,
     compile_plan,
+    default_max_lanes,
     differing_lanes,
+    lane_limit,
     pack_values,
+    plan_lane_bits,
     run_plan_vector,
+    set_default_max_lanes,
     unpack_values,
 )
 from .plan_cache import (
@@ -90,6 +99,7 @@ __all__ = [
     "output_corruption",
     "key_sweep",
     "ENGINES",
+    "DEFAULT_LANE_BITS_BUDGET",
     "PASS_ORDER",
     "BatchCompileError",
     "BatchSimulator",
@@ -98,10 +108,15 @@ __all__ = [
     "PassManager",
     "PlanStats",
     "Step",
+    "auto_max_lanes",
     "compile_plan",
+    "default_max_lanes",
     "differing_lanes",
+    "lane_limit",
     "pack_values",
+    "plan_lane_bits",
     "run_plan_vector",
+    "set_default_max_lanes",
     "unpack_values",
     "PlanCacheInfo",
     "cached_simulator",

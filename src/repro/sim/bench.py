@@ -1,15 +1,19 @@
 """Micro-benchmark harness for the simulation engine layers.
 
-The harness answers three questions with measurements instead of assertions:
+The harness answers four questions with measurements instead of assertions:
 
 * *how much faster is the bit-parallel batch engine than the per-vector
   scalar oracle on this design?* (:func:`compare_engines`),
 * *how much faster is a per-lane key sweep than the per-key batch loop it
-  replaces?* (:func:`compare_key_sweep`), and
+  replaces?* (:func:`compare_key_sweep`),
 * *how much sweep work does the sweep value-numbering pass hoist out of the
   S×V lanes on the SnapShot-KPA sweep shape?* (:func:`compare_sweep_vn` —
   the hoisted default path against the flat pre-VN evaluation of every
-  step).
+  step), and
+* *what do memory-bounded pipelined sweeps cost in throughput, and what do
+  they buy in peak memory?* (:func:`compare_pipelined_sweep` — ``max_lanes``
+  point tiles against the single unchunked pass, timed and
+  ``tracemalloc``-profiled).
 
 Every comparison also cross-checks the measured paths output-for-output, so
 a reported speedup is only ever produced alongside a bit-identical result.
@@ -20,7 +24,8 @@ Run it from the command line::
     PYTHONPATH=src python -m repro.cli sim-bench --json BENCH_sim.json
 
 or programmatically via :func:`run_microbenchmark` /
-:func:`run_sweep_microbenchmark` / :func:`run_sweep_vn_microbenchmark`.
+:func:`run_sweep_microbenchmark` / :func:`run_sweep_vn_microbenchmark` /
+:func:`run_pipelined_sweep_microbenchmark`.
 """
 
 from __future__ import annotations
@@ -329,6 +334,133 @@ def compare_sweep_vn(design: Design, keys: int = 64, vectors: int = 512,
     )
 
 
+@dataclass
+class PipelinedSweepComparison:
+    """Timing and peak memory of one unchunked vs pipelined-sweep comparison.
+
+    Attributes:
+        design_name: Name of the measured (locked) design.
+        keys: Number of key hypotheses swept.
+        vectors: Shared input vectors per key hypothesis.
+        max_lanes: Lane limit of the pipelined run (tile size =
+            ``max(1, max_lanes // vectors)`` points).
+        tiles: Point tiles the pipelined run streamed through.
+        unchunked_seconds: Wall time of the single S×V pass.
+        chunked_seconds: Wall time of the tiled ``max_lanes`` run.
+        unchunked_peak_bytes: ``tracemalloc`` peak of one unchunked pass.
+        chunked_peak_bytes: ``tracemalloc`` peak of one tiled run.
+        outputs_match: True when both paths produced identical outputs.
+    """
+
+    design_name: str
+    keys: int
+    vectors: int
+    max_lanes: int
+    tiles: int
+    unchunked_seconds: float
+    chunked_seconds: float
+    unchunked_peak_bytes: int
+    chunked_peak_bytes: int
+    outputs_match: bool
+
+    @property
+    def throughput_ratio(self) -> float:
+        """Pipelined throughput relative to unchunked (1.0 = no cost)."""
+        if self.chunked_seconds <= 0.0:
+            return float("inf")
+        return self.unchunked_seconds / self.chunked_seconds
+
+    @property
+    def memory_ratio(self) -> float:
+        """Pipelined peak memory relative to unchunked (smaller is better)."""
+        if self.unchunked_peak_bytes <= 0:
+            return float("inf")
+        return self.chunked_peak_bytes / self.unchunked_peak_bytes
+
+
+def compare_pipelined_sweep(design: Design, keys: int = 256,
+                            vectors: int = 512, max_lanes: int = 16384,
+                            rng: Optional[random.Random] = None,
+                            repeats: int = 3,
+                            label: Optional[str] = None,
+                            ) -> PipelinedSweepComparison:
+    """Time one unchunked S×V sweep against the ``max_lanes``-tiled run.
+
+    Both paths run the *same* ``run_sweep`` call on the same plan, keys and
+    shared input batch; only the lane limit differs, so the measured delta
+    is exactly the pipelining overhead (tile-constant recomputation and
+    per-tile env rebuilds).  Outputs are cross-checked entry-for-entry;
+    results are bit-identical by construction.  Peak memory of both paths
+    is measured with ``tracemalloc`` in separate (untimed) runs, since
+    tracing slows execution.
+
+    Args:
+        design: A locked design.
+        keys: Number of random key hypotheses (sweep points).
+        vectors: Input vectors shared by every hypothesis.
+        max_lanes: Lane limit of the pipelined run; must be below
+            ``keys * vectors`` for the comparison to chunk at all.
+        rng: Random source for vectors and key hypotheses.
+        repeats: Timing repetitions (best time kept).
+        label: Reported design name (defaults to ``design.name``).
+
+    Raises:
+        ValueError: for unlocked designs or non-positive sizes.
+    """
+    import tracemalloc
+
+    if not design.is_locked:
+        raise ValueError("pipelined-sweep comparison requires a locked design")
+    if keys < 1 or vectors < 1 or max_lanes < 1:
+        raise ValueError("keys, vectors and max_lanes must be positive")
+    if repeats < 1:
+        raise ValueError("repeats must be positive")
+    rng = rng or random.Random(0)
+
+    from .vectors import random_key
+
+    simulator = BatchSimulator(design)
+    batch = simulator.random_batch(rng, vectors)
+    key_list = [random_key(design.key_width, rng) for _ in range(keys)]
+    tile_points = max(1, max_lanes // vectors)
+    tiles = -(-keys // tile_points)
+
+    # An explicit full-width limit keeps the reference unchunked even when a
+    # process-wide default lane limit is installed.
+    def run_unchunked() -> List[dict]:
+        return simulator.run_sweep(batch, keys=key_list, n=vectors,
+                                   max_lanes=keys * vectors)
+
+    def run_chunked() -> List[dict]:
+        return simulator.run_sweep(batch, keys=key_list, n=vectors,
+                                   max_lanes=max_lanes)
+
+    unchunked_seconds, unchunked_outputs = _best_time(run_unchunked, repeats)
+    chunked_seconds, chunked_outputs = _best_time(run_chunked, repeats)
+
+    def peak_bytes(fn: Callable) -> int:
+        tracemalloc.start()
+        try:
+            fn()
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        return peak
+
+    return PipelinedSweepComparison(
+        design_name=label or design.name,
+        keys=keys,
+        vectors=vectors,
+        max_lanes=max_lanes,
+        tiles=tiles,
+        unchunked_seconds=unchunked_seconds,
+        chunked_seconds=chunked_seconds,
+        unchunked_peak_bytes=peak_bytes(run_unchunked),
+        chunked_peak_bytes=peak_bytes(run_chunked),
+        outputs_match=unchunked_outputs == chunked_outputs,
+    )
+
+
 def default_suite(scale: float = 0.25,
                   seed: int = 0) -> List[Tuple[str, Design]]:
     """The default micro-benchmark designs: plain, locked, and imbalanced.
@@ -408,6 +540,26 @@ def run_sweep_vn_microbenchmark(keys: int = 64, vectors: int = 512,
             for label, design in sweep_vn_suite(scale=scale, seed=seed)]
 
 
+def run_pipelined_sweep_microbenchmark(keys: int = 256, vectors: int = 512,
+                                       max_lanes: int = 16384,
+                                       scale: float = 0.25, seed: int = 0,
+                                       repeats: int = 3,
+                                       ) -> List[PipelinedSweepComparison]:
+    """Run :func:`compare_pipelined_sweep` on the headline VN-suite design.
+
+    ``i2c_sl_era`` is the memory-gate shape of the perf workflow (wide sweep,
+    narrow outputs); the chained MD5 case is skipped here because chunk
+    overhead is invisible on deep key cones — the interesting number is the
+    worst case, not the best.
+    """
+    return [compare_pipelined_sweep(design, keys=keys, vectors=vectors,
+                                    max_lanes=max_lanes,
+                                    rng=random.Random(seed), repeats=repeats,
+                                    label=label)
+            for label, design in sweep_vn_suite(scale=scale, seed=seed)
+            if label == "i2c_sl_era"]
+
+
 def format_report(results: Sequence[EngineComparison]) -> str:
     """Render comparisons as a fixed-width text table."""
     header = (f"{'design':<20} {'vectors':>7} {'scalar [ms]':>12} "
@@ -458,9 +610,28 @@ def format_vn_report(results: Sequence[SweepVNComparison]) -> str:
     return "\n".join(lines)
 
 
+def format_pipelined_report(results: Sequence[PipelinedSweepComparison]) -> str:
+    """Render pipelined-sweep comparisons as a fixed-width table."""
+    header = (f"{'design':<20} {'keys':>5} {'vectors':>7} {'max_lanes':>10} "
+              f"{'tiles':>6} {'full [ms]':>10} {'tiled [ms]':>11} "
+              f"{'thrpt':>6} {'mem':>6} match")
+    lines = [header, "-" * len(header)]
+    for item in results:
+        lines.append(
+            f"{item.design_name:<20} {item.keys:>5} {item.vectors:>7} "
+            f"{item.max_lanes:>10} {item.tiles:>6} "
+            f"{item.unchunked_seconds * 1e3:>10.2f} "
+            f"{item.chunked_seconds * 1e3:>11.2f} "
+            f"{item.throughput_ratio:>5.2f}x "
+            f"{item.memory_ratio:>5.2f}x "
+            f"{'yes' if item.outputs_match else 'NO'}")
+    return "\n".join(lines)
+
+
 def report_json(engine_results: Sequence[EngineComparison],
                 sweep_results: Sequence[SweepComparison],
-                vn_results: Sequence[SweepVNComparison] = ()
+                vn_results: Sequence[SweepVNComparison] = (),
+                pipelined_results: Sequence[PipelinedSweepComparison] = ()
                 ) -> Dict[str, object]:
     """Serialise benchmark results for ``BENCH_sim.json`` (CI artifact).
 
@@ -509,5 +680,22 @@ def report_json(engine_results: Sequence[EngineComparison],
                 "outputs_match": item.outputs_match,
             }
             for item in vn_results
+        ],
+        "pipelined_sweep": [
+            {
+                "design": item.design_name,
+                "keys": item.keys,
+                "vectors": item.vectors,
+                "max_lanes": item.max_lanes,
+                "tiles": item.tiles,
+                "unchunked_ms": item.unchunked_seconds * 1e3,
+                "chunked_ms": item.chunked_seconds * 1e3,
+                "unchunked_peak_bytes": item.unchunked_peak_bytes,
+                "chunked_peak_bytes": item.chunked_peak_bytes,
+                "throughput_ratio": item.throughput_ratio,
+                "memory_ratio": item.memory_ratio,
+                "outputs_match": item.outputs_match,
+            }
+            for item in pipelined_results
         ],
     }

@@ -14,11 +14,17 @@ below unchanged.
 """
 
 from .executor import (
+    DEFAULT_LANE_BITS_BUDGET,
     BatchSimulator,
+    auto_max_lanes,
     classify_steps,
+    default_max_lanes,
     differing_lanes,
+    lane_limit,
     pack_values,
+    plan_lane_bits,
     run_plan_vector,
+    set_default_max_lanes,
     unpack_values,
 )
 from .lowering import ExpressionCompiler
@@ -45,6 +51,7 @@ __all__ = [
     "BatchCompileError",
     "BatchSimulator",
     "CompiledExpr",
+    "DEFAULT_LANE_BITS_BUDGET",
     "EvalPlan",
     "ExpressionCompiler",
     "PASS_FACTORIES",
@@ -56,11 +63,16 @@ __all__ = [
     "Slices",
     "Step",
     "WORKING_WIDTH",
+    "auto_max_lanes",
     "classify_steps",
     "compile_plan",
+    "default_max_lanes",
     "differing_lanes",
+    "lane_limit",
     "normalize_passes",
     "pack_values",
+    "plan_lane_bits",
     "run_plan_vector",
+    "set_default_max_lanes",
     "unpack_values",
 ]

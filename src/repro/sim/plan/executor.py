@@ -21,13 +21,24 @@ results are tiled across the S point blocks, instead of being re-evaluated
 on all S×V lanes.  Identical keys across all sweep points count as
 point-invariant — the avalanche-study shape, where only one probed input
 varies.
+
+Both entry points accept a ``max_lanes`` limit that bounds the peak lane
+width of any single pass: ``run_batch`` splits its lanes into fixed-size
+chunks, ``run_sweep`` splits the S sweep points into point *tiles* and
+streams each tile through pack → execute → unpack while the invariant
+base-batch work is still evaluated only once — so million-lane sweeps run in
+bounded memory with results bit-identical to the unchunked pass (chunking
+only ever partitions independent lanes).  :func:`set_default_max_lanes` /
+:func:`lane_limit` install a process-wide default limit (``"auto"`` derives
+it from the plan width, see :func:`auto_max_lanes`).
 """
 
 from __future__ import annotations
 
 import random
-from typing import (Dict, FrozenSet, List, Mapping, Optional, Sequence, Set,
-                    Tuple)
+from contextlib import contextmanager
+from typing import (Dict, FrozenSet, Iterator, List, Mapping, Optional,
+                    Sequence, Set, Tuple, Union)
 
 from ...rtlir.design import Design
 from ..evaluator import SimulationError, mask
@@ -434,6 +445,93 @@ def _pack_key_lanes(keys: Sequence[Sequence[int]]) -> Slices:
 
 
 # ---------------------------------------------------------------------------
+# Lane limits (memory-bounded pipelined execution)
+# ---------------------------------------------------------------------------
+
+
+#: Slice-payload budget in lane-bits behind ``max_lanes="auto"``: the
+#: automatic limit caps the live big-int payload of one pass at roughly this
+#: many bits (2**28 bits = 32 MB packed).
+DEFAULT_LANE_BITS_BUDGET = 1 << 28
+
+#: A lane limit: ``None`` (unbounded), a positive lane count, or ``"auto"``.
+LaneLimit = Optional[Union[int, str]]
+
+#: Process-wide default lane limit applied when a call passes
+#: ``max_lanes=None`` (see :func:`set_default_max_lanes`).
+_default_max_lanes: LaneLimit = None
+
+
+def plan_lane_bits(plan: EvalPlan) -> int:
+    """Slice bits one evaluation lane of ``plan`` keeps live, summed.
+
+    The memory model of a bit-parallel pass: every input and every step
+    target holds ``width`` slice words of ``lanes`` bits each for the whole
+    pass, so the peak packed payload is roughly ``plan_lane_bits(plan) *
+    lanes`` bits.  The sum is cached on the plan object.
+    """
+    bits = getattr(plan, "_lane_bits", None)
+    if bits is None:
+        bits = sum(plan.width_of(name) for name in plan.inputs) \
+            + sum(step.width for step in plan.steps)
+        bits = max(1, bits)
+        plan._lane_bits = bits  # type: ignore[attr-defined]
+    return bits
+
+
+def auto_max_lanes(plan: EvalPlan, base: int = 1) -> int:
+    """Automatic lane limit of ``plan``: the lane-bits budget over the
+    plan's per-lane slice bits.
+
+    Never below ``base``: a sweep tile is a whole number of points, so the
+    limit cannot cut below one point's V base lanes.
+    """
+    return max(base, DEFAULT_LANE_BITS_BUDGET // plan_lane_bits(plan))
+
+
+def set_default_max_lanes(limit: LaneLimit) -> LaneLimit:
+    """Install the process-wide default lane limit; returns the previous one.
+
+    ``None`` removes the bound (the historical single-pass behaviour), a
+    positive int caps the peak lane width of every ``run_batch``/``run_sweep``
+    pass, and ``"auto"`` derives the cap per plan via :func:`auto_max_lanes`.
+    An explicit ``max_lanes`` argument always wins over this default.
+
+    Raises:
+        ValueError: for a non-positive or otherwise invalid limit.
+    """
+    global _default_max_lanes
+    if limit is not None and limit != "auto" and int(limit) < 1:
+        raise ValueError(
+            f"default max_lanes must be positive, None or 'auto'; "
+            f"got {limit!r}")
+    previous = _default_max_lanes
+    _default_max_lanes = limit
+    return previous
+
+
+def default_max_lanes() -> LaneLimit:
+    """The process-wide default lane limit (see :func:`set_default_max_lanes`)."""
+    return _default_max_lanes
+
+
+@contextmanager
+def lane_limit(limit: LaneLimit) -> Iterator[None]:
+    """Scope a process-wide default lane limit to a ``with`` block.
+
+    The scenario runner wraps each job in ``lane_limit(job.max_lanes or
+    "auto")`` so every simulation-backed consumer inside the job — KPA
+    sweeps, corruption and avalanche metrics — runs memory-bounded without
+    threading the knob through every call site.
+    """
+    previous = set_default_max_lanes(limit)
+    try:
+        yield
+    finally:
+        set_default_max_lanes(previous)
+
+
+# ---------------------------------------------------------------------------
 # Plan execution
 # ---------------------------------------------------------------------------
 
@@ -598,10 +696,31 @@ class BatchSimulator:
 
     # ------------------------------------------------------------ simulation
 
+    def _resolve_max_lanes(self, max_lanes: LaneLimit,
+                           base: int = 1) -> Optional[int]:
+        """Resolve an explicit or default lane limit to a lane count.
+
+        An explicit ``max_lanes`` argument wins over the process-wide
+        default installed by :func:`set_default_max_lanes`; ``"auto"``
+        derives the cap from the plan's per-lane slice bits.  ``base``
+        is the lower bound a sweep cannot tile below (one point).
+        """
+        limit = max_lanes if max_lanes is not None else _default_max_lanes
+        if limit is None:
+            return None
+        if limit == "auto":
+            return auto_max_lanes(self.plan, base)
+        limit = int(limit)
+        if limit < 1:
+            raise SimulationError(
+                f"max_lanes must be positive, None or 'auto'; got {limit}")
+        return limit
+
     def run_batch(self, inputs: Mapping[str, Sequence[int]],
                   key: Optional[Sequence[int]] = None,
                   keys: Optional[Sequence[Sequence[int]]] = None,
-                  n: Optional[int] = None) -> Dict[str, List[int]]:
+                  n: Optional[int] = None,
+                  max_lanes: LaneLimit = None) -> Dict[str, List[int]]:
         """Evaluate the design for a batch of input vectors.
 
         Args:
@@ -612,13 +731,19 @@ class BatchSimulator:
                 key-trial pattern: same inputs, a different key hypothesis in
                 every lane.
             n: Lane count override, required when ``inputs`` is empty.
+            max_lanes: Peak lane width of one bit-parallel pass; larger
+                batches are split into chunks of at most this many lanes and
+                streamed through the engine (``"auto"`` derives the cap from
+                the plan width; ``None`` defers to the process-wide default
+                of :func:`set_default_max_lanes`).  Results are bit-identical
+                to the unchunked pass.
 
         Returns:
             ``{output name: [value per lane]}``.
 
         Raises:
             SimulationError: for unknown input names, inconsistent lane
-                counts, or invalid key bits.
+                counts, invalid key bits, or a non-positive ``max_lanes``.
         """
         lanes = n
         for name, values in inputs.items():
@@ -638,6 +763,9 @@ class BatchSimulator:
         if lanes is None or lanes < 1:
             raise SimulationError("batch needs at least one lane "
                                   "(pass inputs or n)")
+        limit = self._resolve_max_lanes(max_lanes)
+        if limit is not None and lanes > limit:
+            return self._run_batch_chunked(inputs, key, keys, lanes, limit)
         full = (1 << lanes) - 1
 
         known = set(self.plan.inputs)
@@ -665,11 +793,33 @@ class BatchSimulator:
         return {name: unpack_values(env[name], lanes)
                 for name in self.plan.outputs}
 
+    def _run_batch_chunked(self, inputs: Mapping[str, Sequence[int]],
+                           key: Optional[Sequence[int]],
+                           keys: Optional[Sequence[Sequence[int]]],
+                           lanes: int, limit: int) -> Dict[str, List[int]]:
+        """Stream a batch through :meth:`run_batch` in lane chunks.
+
+        Lane-parallel kernels never mix bits across lanes, so evaluating
+        lane slices independently is bit-identical to one wide pass.
+        """
+        results: Dict[str, List[int]] = {name: [] for name in self.plan.outputs}
+        for start in range(0, lanes, limit):
+            stop = min(start + limit, lanes)
+            chunk_inputs = {name: values[start:stop]
+                            for name, values in inputs.items()}
+            chunk_keys = keys[start:stop] if keys is not None else None
+            chunk = self.run_batch(chunk_inputs, key=key, keys=chunk_keys,
+                                   n=stop - start, max_lanes=stop - start)
+            for name, values in chunk.items():
+                results[name].extend(values)
+        return results
+
     def run_sweep(self, inputs: Mapping[str, Sequence[int]],
                   keys: Optional[Sequence[Sequence[int]]] = None,
                   bindings: Optional[Sequence[Mapping[str, int]]] = None,
                   n: Optional[int] = None,
-                  hoist: Optional[bool] = None) -> List[Dict[str, List[int]]]:
+                  hoist: Optional[bool] = None,
+                  max_lanes: LaneLimit = None) -> List[Dict[str, List[int]]]:
         """Evaluate S sweep points over one shared input batch in one pass.
 
         A sweep is the outer product of a *base batch* (``inputs``, V lanes)
@@ -701,15 +851,26 @@ class BatchSimulator:
             hoist: Override the plan's sweep-hoist default (``False`` forces
                 the flat S×V evaluation of every step — the pre-VN
                 behaviour, kept for benchmarking and debugging).
+            max_lanes: Peak lane width of one bit-parallel pass.  Sweeps
+                wider than this are split into point tiles of
+                ``max(1, max_lanes // V)`` points each: invariant work still
+                runs once on the V base lanes, then each tile streams through
+                pack → execute → unpack with bounded peak memory (``"auto"``
+                derives the cap from the plan width; ``None`` defers to the
+                process-wide default of :func:`set_default_max_lanes`).
+                Results are bit-identical to the unchunked pass; the
+                effective floor is one point (V lanes).
 
         Returns:
             One ``{output name: [value per base lane]}`` dict per sweep
             point, in point order — element ``s`` equals
-            ``run_batch(inputs, key=keys[s])`` bit for bit.
+            ``run_batch(inputs, key=keys[s])`` bit for bit.  Keys follow
+            ``plan.outputs`` order in every path.
 
         Raises:
             SimulationError: for unknown signals, inconsistent lane or point
-                counts, invalid key bits, or key sweeps on unlocked designs.
+                counts, invalid key bits, key sweeps on unlocked designs, or
+                a non-positive ``max_lanes``.
         """
         base = n
         for name, values in inputs.items():
@@ -735,12 +896,7 @@ class BatchSimulator:
         if keys is not None and key_port is None:
             raise SimulationError("cannot sweep keys of an unlocked design")
 
-        lanes = points * base
-        full = (1 << lanes) - 1
         block = (1 << base) - 1
-        # Replicating a V-lane slice into every point's lane block is one
-        # multiplication by the block-comb constant 0b...0001...0001.
-        tile = full // block
 
         known = set(self.plan.inputs)
         bound: Set[str] = set()
@@ -791,46 +947,79 @@ class BatchSimulator:
         execute_steps(schedule.invariant_steps, base_env, block)
 
         # ... and only what the varying steps (or the swept-out outputs)
-        # read is tiled out to the S*V sweep lanes.
-        env: Dict[str, Slices] = {
-            name: [word * tile for word in slices]
-            for name, slices in base_env.items()
-            if name in schedule.needed
-        }
-
+        # read gets tiled out to the sweep lanes, one point tile at a time.
+        needed_env = {name: slices for name, slices in base_env.items()
+                      if name in schedule.needed}
+        invariant_values = {name: unpack_values(base_env[name], base)
+                            for name in schedule.invariant_outputs}
         point_list = list(bindings) if bindings is not None \
             else [{}] * points
+        key_list = list(keys) if keys is not None else None
+        swept_key_port = key_port if keys is not None \
+            and shared_key is None else None
+
+        limit = self._resolve_max_lanes(max_lanes, base)
+        tile_points = points if limit is None else max(1, limit // base)
+        results: List[Dict[str, List[int]]] = []
+        for first in range(0, points, tile_points):
+            last = min(first + tile_points, points)
+            results.extend(self._run_sweep_tile(
+                schedule, needed_env, invariant_values, point_list, key_list,
+                bound, swept_key_port, base, first, last))
+        return results
+
+    def _run_sweep_tile(self, schedule: _SweepSchedule,
+                        needed_env: Dict[str, Slices],
+                        invariant_values: Dict[str, List[int]],
+                        point_list: Sequence[Mapping[str, int]],
+                        key_list: Optional[Sequence[Sequence[int]]],
+                        bound: Set[str], swept_key_port: Optional[str],
+                        base: int, first: int,
+                        last: int) -> List[Dict[str, List[int]]]:
+        """Evaluate sweep points ``[first, last)`` as one bit-parallel pass.
+
+        Lane-parallel kernels never mix bits across lanes, so each point
+        block is independent and tiling is bit-identical to one wide pass.
+        The ragged last tile simply gets narrower pack constants.
+        """
+        tile_points = last - first
+        lanes = tile_points * base
+        full = (1 << lanes) - 1
+        block = (1 << base) - 1
+        # Replicating a V-lane slice into every point's lane block is one
+        # multiplication by the block-comb constant 0b...0001...0001.
+        tile = full // block
+
+        env: Dict[str, Slices] = {
+            name: [word * tile for word in slices]
+            for name, slices in needed_env.items()
+        }
         for name in bound:
             env[name] = _pack_point_values(
-                [point.get(name, 0) for point in point_list],
+                [point.get(name, 0) for point in point_list[first:last]],
                 self.width_of(name), base)
-        if keys is not None and key_port is not None and shared_key is None:
-            env[key_port] = _fit(_pack_swept_keys(keys,
-                                                  self.width_of(key_port),
-                                                  base),
-                                 self.width_of(key_port))
+        if swept_key_port is not None and key_list is not None:
+            env[swept_key_port] = _fit(
+                _pack_swept_keys(key_list[first:last],
+                                 self.width_of(swept_key_port), base),
+                self.width_of(swept_key_port))
 
         execute_steps(schedule.varying_steps, env, full)
 
-        # Point-varying outputs: one flat unpack over all S*V lanes, then
+        # Point-varying outputs: one flat unpack over the tile's lanes, then
         # sliced per point — cheaper than points * (shift/mask + unpack) on
-        # the wide sweep words.  Point-invariant outputs unpack once from
-        # the V-lane base batch and are copied per point.
+        # the wide sweep words.  Point-invariant outputs were unpacked once
+        # from the V-lane base batch and are copied per point.  Every point
+        # dict follows plan.outputs order, hoisted or flat.
         flat = {name: unpack_values(env[name], lanes)
                 for name in schedule.varying_outputs}
-        invariant_values = {name: unpack_values(base_env[name], base)
-                            for name in schedule.invariant_outputs}
         results: List[Dict[str, List[int]]] = []
-        for index in range(points):
+        for index in range(tile_points):
             start = index * base
-            point_result = {name: values[start:start + base]
-                            for name, values in flat.items()}
-            for name, values in invariant_values.items():
-                point_result[name] = list(values)
-            if invariant_values:
-                point_result = {name: point_result[name]
-                                for name in self.plan.outputs}
-            results.append(point_result)
+            results.append({
+                name: (flat[name][start:start + base] if name in flat
+                       else list(invariant_values[name]))
+                for name in self.plan.outputs})
         return results
 
     def run(self, inputs: Mapping[str, int],

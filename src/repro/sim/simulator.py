@@ -332,7 +332,8 @@ def output_corruption(locked: Design, correct_key: Sequence[int],
 
 def key_sweep(design: Design, inputs: Mapping[str, Sequence[int]],
               keys: Sequence[Sequence[int]], n: Optional[int] = None,
-              engine: str = "batch") -> List[Dict[str, List[int]]]:
+              engine: str = "batch",
+              max_lanes: Optional[int] = None) -> List[Dict[str, List[int]]]:
     """Outputs of ``design`` under several key hypotheses on one shared batch.
 
     The workhorse of every key-trial consumer (`functional_kpa`,
@@ -348,6 +349,11 @@ def key_sweep(design: Design, inputs: Mapping[str, Sequence[int]],
         keys: Key hypotheses, one output dict per entry in the result.
         n: Lane count override, required when ``inputs`` is empty.
         engine: ``batch`` (sweep fast path, the default) or ``scalar``.
+        max_lanes: Peak lane width of one bit-parallel pass — wider sweeps
+            stream through fixed-size point tiles with bit-identical results
+            (see :meth:`BatchSimulator.run_sweep`).  ``None`` defers to the
+            process-wide default; the scalar engine is unaffected (it is
+            already memory-bounded at one lane).
 
     Returns:
         One ``{output name: [value per lane]}`` dict per key, in key order.
@@ -378,7 +384,8 @@ def key_sweep(design: Design, inputs: Mapping[str, Sequence[int]],
         simulators = _batch_simulators(design)
         if simulators is not None:
             (simulator,) = simulators
-            return simulator.run_sweep(inputs, keys=keys, n=lanes)
+            return simulator.run_sweep(inputs, keys=keys, n=lanes,
+                                       max_lanes=max_lanes)
 
     from .vectors import batch_to_vectors
     simulator = CombinationalSimulator(design, engine="ast")

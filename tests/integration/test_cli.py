@@ -495,10 +495,12 @@ class TestSimBench:
                      "--vn-vectors", "64", "--json", str(json_path)])
         assert code == 0
         payload = json.loads(json_path.read_text())
-        assert {"engines", "key_sweeps", "sweep_vn"} == set(payload)
+        assert {"engines", "key_sweeps", "sweep_vn",
+                "pipelined_sweep"} == set(payload)
         assert payload["engines"], "engine comparisons missing"
         assert payload["key_sweeps"], "key-sweep comparisons missing"
         assert payload["sweep_vn"], "sweep-VN comparisons missing"
+        assert payload["pipelined_sweep"], "pipelined comparisons missing"
         for entry in payload["engines"]:
             assert entry["outputs_match"] is True
             assert entry["speedup"] > 0
@@ -511,6 +513,11 @@ class TestSimBench:
                     "hoisted_subexprs"} <= set(entry)
         designs = {entry["design"] for entry in payload["sweep_vn"]}
         assert designs == {"i2c_sl_era", "md5_scaled_era"}
+        for entry in payload["pipelined_sweep"]:
+            assert entry["outputs_match"] is True
+            assert {"max_lanes", "tiles", "throughput_ratio",
+                    "memory_ratio", "chunked_peak_bytes",
+                    "unchunked_peak_bytes"} <= set(entry)
 
     def test_avalanche_flag_reports_sensitivity(self, capsys):
         code = main(["sim-bench", "--vectors", "8", "--keys", "4",

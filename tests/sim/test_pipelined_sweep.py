@@ -1,0 +1,279 @@
+"""Memory-bounded (chunked) sweeps: tiling must be invisible in results.
+
+``max_lanes`` caps the packed lane width of ``run_sweep``/``run_batch``; the
+executor splits the S sweep points into point tiles and streams each tile
+through the varying steps.  Because the bit-slice kernels never mix bits
+across lanes, every tiling — single-point tiles, ragged last tiles, no
+chunking at all — must be *bit-identical* to the unchunked evaluation, for
+every pass subset and both hoisted and flat schedules.
+"""
+
+import random
+
+import pytest
+
+from repro.bench import load_benchmark, plus_network
+from repro.locking import AssureLocker, ERALocker
+from repro.sim import (
+    BatchSimulator,
+    DEFAULT_LANE_BITS_BUDGET,
+    SimulationError,
+    auto_max_lanes,
+    compile_plan,
+    default_max_lanes,
+    key_sweep,
+    lane_limit,
+    plan_lane_bits,
+    random_input_batch,
+    random_key,
+    set_default_max_lanes,
+)
+from repro.sim.plan import PASS_ORDER
+
+#: Same golden matrix as the pass tests: each optimisation alone, nothing,
+#: everything — chunking must compose with every schedule shape.
+PASS_SUBSETS = [
+    ("lower",),
+    ("fold", "lower"),
+    ("cse", "lower"),
+    ("sweep-vn", "lower"),
+    ("lower", "prune"),
+    PASS_ORDER,
+]
+
+#: Lane caps exercised against 12 points x 8 base lanes (96 lanes total):
+#: single-point tiles, a ragged last tile (5+5+2 points), and a cap far above
+#: the sweep (no chunking; the tiled path must still not engage).
+BASE = 8
+POINTS = 12
+LANE_CAPS = [BASE, 5 * BASE, 1 << 30]
+
+
+def _locked(algorithm="era", name="MD5", seed=0, scale=0.15):
+    design = load_benchmark(name, scale=scale, seed=seed)
+    budget = max(1, int(0.75 * design.num_operations()))
+    locker = AssureLocker("serial", rng=random.Random(seed),
+                          track_metrics=False) if algorithm == "assure" \
+        else ERALocker(rng=random.Random(seed), track_metrics=False)
+    return locker.lock(design, budget).design
+
+
+def _random_keys(width, count, seed):
+    rng = random.Random(seed)
+    return [random_key(width, rng) for _ in range(count)]
+
+
+class TestChunkedBitIdentity:
+    """Chunked == unchunked, across pass subsets, hoisting, and tilings."""
+
+    @pytest.mark.parametrize("passes", PASS_SUBSETS,
+                             ids=["+".join(p) for p in PASS_SUBSETS])
+    @pytest.mark.parametrize("max_lanes", LANE_CAPS)
+    def test_key_sweep_matrix(self, passes, max_lanes):
+        locked = _locked(algorithm="era")
+        simulator = BatchSimulator(locked,
+                                   plan=compile_plan(locked, passes=passes))
+        batch = simulator.random_batch(random.Random(1), BASE)
+        keys = _random_keys(locked.key_width, POINTS, seed=2)
+        reference = simulator.run_sweep(batch, keys=keys, n=BASE)
+        chunked = simulator.run_sweep(batch, keys=keys, n=BASE,
+                                      max_lanes=max_lanes)
+        assert chunked == reference
+
+    @pytest.mark.parametrize("hoist", [None, False])
+    @pytest.mark.parametrize("max_lanes", LANE_CAPS)
+    def test_hoisted_and_flat_schedules(self, hoist, max_lanes):
+        locked = _locked(algorithm="assure")
+        simulator = BatchSimulator(locked)
+        batch = simulator.random_batch(random.Random(3), BASE)
+        keys = _random_keys(locked.key_width, POINTS, seed=4)
+        reference = simulator.run_sweep(batch, keys=keys, n=BASE, hoist=hoist)
+        chunked = simulator.run_sweep(batch, keys=keys, n=BASE, hoist=hoist,
+                                      max_lanes=max_lanes)
+        assert chunked == reference
+
+    @pytest.mark.parametrize("max_lanes", LANE_CAPS)
+    def test_bindings_and_shared_key(self, max_lanes):
+        locked = _locked()
+        simulator = BatchSimulator(locked)
+        data = [name for name in simulator.input_names
+                if name != locked.key_port]
+        swept_name = data[0]
+        base = simulator.random_batch(random.Random(5), BASE)
+        shared = {name: values for name, values in base.items()
+                  if name != swept_name}
+        bindings = [{swept_name: point % 4} for point in range(POINTS)]
+        # Shared key (every point uses the same key -> block-width broadcast)
+        shared_key = [locked.correct_key] * POINTS
+        reference = simulator.run_sweep(shared, keys=shared_key,
+                                        bindings=bindings, n=BASE)
+        chunked = simulator.run_sweep(shared, keys=shared_key,
+                                      bindings=bindings, n=BASE,
+                                      max_lanes=max_lanes)
+        assert chunked == reference
+        # Per-point keys combined with bindings
+        keys = _random_keys(locked.key_width, POINTS, seed=6)
+        reference = simulator.run_sweep(shared, keys=keys,
+                                        bindings=bindings, n=BASE)
+        chunked = simulator.run_sweep(shared, keys=keys, bindings=bindings,
+                                      n=BASE, max_lanes=max_lanes)
+        assert chunked == reference
+
+    def test_ragged_last_tile_against_per_key_loop(self):
+        locked = _locked(algorithm="era")
+        simulator = BatchSimulator(locked)
+        batch = simulator.random_batch(random.Random(7), BASE)
+        keys = _random_keys(locked.key_width, 7, seed=8)
+        # 3-point tiles over 7 points: tiles of 3, 3, and 1.
+        swept = simulator.run_sweep(batch, keys=keys, n=BASE,
+                                    max_lanes=3 * BASE)
+        loop = [simulator.run_batch(batch, key=key, n=BASE) for key in keys]
+        assert swept == loop
+
+    def test_run_batch_chunking(self):
+        locked = _locked()
+        simulator = BatchSimulator(locked)
+        batch = simulator.random_batch(random.Random(9), 10)
+        keys = _random_keys(locked.key_width, 10, seed=10)
+        reference = simulator.run_batch(batch, keys=keys, n=10)
+        for cap in (1, 3, 10, 1 << 30):
+            assert simulator.run_batch(batch, keys=keys, n=10,
+                                       max_lanes=cap) == reference
+        # Broadcast key path
+        shared = simulator.run_batch(batch, key=locked.correct_key, n=10)
+        assert simulator.run_batch(batch, key=locked.correct_key, n=10,
+                                   max_lanes=4) == shared
+
+
+class TestOutputKeyOrder:
+    """Regression: result dicts follow ``plan.outputs`` order on every path.
+
+    Before the fix, only sweeps with hoisted invariant outputs normalised
+    their key order; flat schedules returned varying-first dicts.
+    """
+
+    @pytest.mark.parametrize("hoist", [None, False])
+    def test_result_keys_match_plan_outputs(self, hoist):
+        locked = _locked(algorithm="era")
+        simulator = BatchSimulator(locked)
+        batch = simulator.random_batch(random.Random(11), 4)
+        keys = _random_keys(locked.key_width, 3, seed=12)
+        for point in simulator.run_sweep(batch, keys=keys, n=4, hoist=hoist):
+            assert list(point) == list(simulator.plan.outputs)
+
+    def test_key_order_identical_across_paths(self):
+        locked = _locked(algorithm="era")
+        simulator = BatchSimulator(locked)
+        batch = simulator.random_batch(random.Random(13), 4)
+        keys = _random_keys(locked.key_width, 3, seed=14)
+        orders = set()
+        for hoist in (None, False):
+            for max_lanes in (None, BASE):
+                for point in simulator.run_sweep(batch, keys=keys, n=4,
+                                                 hoist=hoist,
+                                                 max_lanes=max_lanes):
+                    orders.add(tuple(point))
+        assert len(orders) == 1
+
+
+class TestLaneLimitResolution:
+    """Explicit arg > process default > unbounded; "auto" sizes from plan."""
+
+    def test_rejects_nonpositive_cap(self):
+        locked = _locked()
+        simulator = BatchSimulator(locked)
+        batch = simulator.random_batch(random.Random(15), 4)
+        keys = _random_keys(locked.key_width, 2, seed=16)
+        with pytest.raises(SimulationError):
+            simulator.run_sweep(batch, keys=keys, n=4, max_lanes=0)
+        with pytest.raises(SimulationError):
+            simulator.run_batch(batch, key=locked.correct_key, n=4,
+                                max_lanes=-1)
+        with pytest.raises(ValueError):
+            set_default_max_lanes(0)
+
+    def test_auto_cap_scales_with_plan_width(self):
+        locked = _locked()
+        plan = compile_plan(locked)
+        bits = plan_lane_bits(plan)
+        assert bits >= 1
+        assert auto_max_lanes(plan) == max(1, DEFAULT_LANE_BITS_BUDGET // bits)
+        # The cap never tiles below one point: base is the floor.
+        assert auto_max_lanes(plan, base=1 << 40) == 1 << 40
+
+    def test_lane_limit_context_sets_and_restores_default(self):
+        locked = _locked()
+        simulator = BatchSimulator(locked)
+        batch = simulator.random_batch(random.Random(17), BASE)
+        keys = _random_keys(locked.key_width, POINTS, seed=18)
+        reference = simulator.run_sweep(batch, keys=keys, n=BASE)
+        before = default_max_lanes()
+        with lane_limit(3 * BASE):
+            assert default_max_lanes() == 3 * BASE
+            assert simulator.run_sweep(batch, keys=keys, n=BASE) == reference
+            with lane_limit("auto"):
+                assert default_max_lanes() == "auto"
+                assert simulator.run_sweep(batch, keys=keys,
+                                           n=BASE) == reference
+        assert default_max_lanes() == before
+
+    def test_explicit_arg_overrides_process_default(self):
+        locked = _locked()
+        simulator = BatchSimulator(locked)
+        batch = simulator.random_batch(random.Random(19), BASE)
+        keys = _random_keys(locked.key_width, POINTS, seed=20)
+        reference = simulator.run_sweep(batch, keys=keys, n=BASE)
+        with lane_limit(BASE):
+            assert simulator.run_sweep(batch, keys=keys, n=BASE,
+                                       max_lanes=1 << 30) == reference
+
+
+class TestConsumerThreading:
+    """The cap reaches sweeps made through the high-level helpers."""
+
+    def test_key_sweep_helper(self):
+        locked = _locked(algorithm="era")
+        batch = random_input_batch(locked, random.Random(21), BASE)
+        keys = [locked.correct_key] + _random_keys(locked.key_width,
+                                                   POINTS - 1, 22)
+        reference = key_sweep(locked, batch, keys, n=BASE)
+        assert key_sweep(locked, batch, keys, n=BASE,
+                         max_lanes=3 * BASE) == reference
+
+    def test_functional_kpa_many(self):
+        from repro.attacks.kpa import functional_kpa_many
+
+        locked = _locked(algorithm="era")
+        keys = _random_keys(locked.key_width, 4, seed=23)
+        reference = functional_kpa_many(locked, keys, vectors=16,
+                                        rng=random.Random(24))
+        chunked = functional_kpa_many(locked, keys, vectors=16,
+                                      rng=random.Random(24), max_lanes=32)
+        assert chunked == reference
+
+    def test_metrics_accept_max_lanes(self):
+        from repro.locking.metrics import (functional_corruption,
+                                           key_bit_sensitivity)
+
+        locked = _locked(algorithm="era")
+        reference = functional_corruption(locked, vectors=16, wrong_keys=6,
+                                          rng=random.Random(25))
+        chunked = functional_corruption(locked, vectors=16, wrong_keys=6,
+                                        rng=random.Random(25), max_lanes=32)
+        assert chunked == reference
+        reference = key_bit_sensitivity(locked, vectors=16,
+                                        rng=random.Random(26))
+        chunked = key_bit_sensitivity(locked, vectors=16,
+                                      rng=random.Random(26), max_lanes=32)
+        assert chunked == reference
+
+    def test_unlocked_sweep_with_bindings_chunks(self):
+        design = plus_network(16, n_inputs=4, name="plus16c")
+        simulator = BatchSimulator(design)
+        base = simulator.random_batch(random.Random(27), 6)
+        shared = {name: values for name, values in base.items()
+                  if name != "in0"}
+        bindings = [{"in0": value} for value in range(5)]
+        reference = simulator.run_sweep(shared, bindings=bindings, n=6)
+        assert simulator.run_sweep(shared, bindings=bindings, n=6,
+                                   max_lanes=12) == reference
