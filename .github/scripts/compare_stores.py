@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Assert two results stores hold bit-identical records (the chaos gate).
+
+Usage: compare_stores.py BASELINE_STORE CANDIDATE_STORE
+
+Compares every per-job record of the two stores field by field, ignoring
+only the measured ``elapsed_seconds`` (wall time is the one legitimately
+machine- and schedule-dependent value).  Exits non-zero, naming the first
+divergence, when the candidate store — typically a run that suffered
+injected faults — is not exactly the baseline.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+
+def load_records(store: Path) -> dict:
+    jobs_dir = store / "jobs"
+    if not jobs_dir.is_dir():
+        sys.exit(f"error: {store} has no jobs/ directory")
+    records = {}
+    for path in sorted(jobs_dir.glob("*.json")):
+        record = json.loads(path.read_text())
+        record.pop("elapsed_seconds", None)
+        records[path.stem] = record
+    if not records:
+        sys.exit(f"error: {store} holds no records")
+    return records
+
+
+def main(argv) -> int:
+    if len(argv) != 3:
+        sys.exit(f"usage: {argv[0]} BASELINE_STORE CANDIDATE_STORE")
+    baseline = load_records(Path(argv[1]))
+    candidate = load_records(Path(argv[2]))
+    missing = sorted(set(baseline) - set(candidate))
+    extra = sorted(set(candidate) - set(baseline))
+    if missing or extra:
+        sys.exit(f"error: job sets differ — missing from candidate: "
+                 f"{missing or 'none'}; extra in candidate: "
+                 f"{extra or 'none'}")
+    for job_id, record in baseline.items():
+        if candidate[job_id] != record:
+            diff_keys = [key for key in record
+                         if candidate[job_id].get(key) != record.get(key)]
+            sys.exit(f"error: record {job_id} diverges in field(s): "
+                     f"{diff_keys}")
+    print(f"stores identical: {len(baseline)} record(s), "
+          "elapsed_seconds ignored")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -16,6 +16,17 @@ This package is the one import surface a workload author needs:
   a plan-cache-aware process pool with **cost-aware largest-first
   dispatch** (:func:`schedule_chunks`), ``progress`` callbacks and
   bit-identical results either way.
+* **Executor backends** (:mod:`repro.api.backends`) — the pluggable
+  execution seam (``"serial"`` / ``"process"``, registry-extensible via
+  :func:`register_backend`) plus the fault-tolerance primitives: per-job
+  :class:`RetryPolicy` with seeded backoff, wall-clock ``job_timeout``
+  enforcement with lost-worker detection, and transient-vs-permanent
+  failure classification feeding the store's ``failures.jsonl``
+  quarantine ledger.
+* **Fault injection** (:mod:`repro.api.faults`) — a deterministic, seeded
+  :class:`FaultPlan` (crashes, hangs, transient errors, slow jobs, corrupt
+  writes) that turns every recovery path above into an ordinary CI
+  regression test.
 * **Results store** (:mod:`repro.api.store`) — one JSON record per job plus
   an aggregate manifest pairing measured wall time with the scheduler's
   cost estimates; re-runs against an existing store skip completed jobs,
@@ -88,6 +99,22 @@ __all__ = [
     "fit_cost_model",
     "fit_cost_model_from_pairs",
     "fit_cost_model_from_store",
+    "ExecutorBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "register_backend",
+    "backend_names",
+    "make_backend",
+    "RetryPolicy",
+    "JobOutcome",
+    "TransientJobError",
+    "classify_failure",
+    "register_transient_error",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultPlanError",
+    "InjectedTransientError",
+    "InjectedCrashError",
 ]
 
 #: Lazy attribute → defining submodule map (PEP 562).  The scenario/runner/
@@ -112,6 +139,22 @@ _LAZY = {
     "fit_cost_model": "costmodel",
     "fit_cost_model_from_pairs": "costmodel",
     "fit_cost_model_from_store": "costmodel",
+    "ExecutorBackend": "backends",
+    "SerialBackend": "backends",
+    "ProcessPoolBackend": "backends",
+    "register_backend": "backends",
+    "backend_names": "backends",
+    "make_backend": "backends",
+    "RetryPolicy": "backends",
+    "JobOutcome": "backends",
+    "TransientJobError": "backends",
+    "classify_failure": "backends",
+    "register_transient_error": "backends",
+    "FaultPlan": "faults",
+    "FaultSpec": "faults",
+    "FaultPlanError": "faults",
+    "InjectedTransientError": "faults",
+    "InjectedCrashError": "faults",
 }
 
 

@@ -23,9 +23,26 @@ tail.  Each record carries its measured ``elapsed_seconds`` and the store
 manifest pairs it with the estimate, so the cost model can be validated from
 any finished run (``repro.cli report`` prints the comparison).
 
+Execution itself is delegated to a pluggable
+:class:`~repro.api.backends.ExecutorBackend` (``"serial"`` or ``"process"``
+built in, registry-extensible) and wrapped in a *fault-tolerance layer*:
+failed attempts are classified transient-vs-permanent
+(:func:`~repro.api.backends.classify_failure`), transient failures retry
+under a seeded-deterministic backoff
+(:class:`~repro.api.backends.RetryPolicy`) and per-job wall-clock timeouts,
+and a job that exhausts its budget is *quarantined* — appended to the
+store's ``failures.jsonl`` ledger and reported in
+:attr:`RunReport.failures` — while the run completes with every other
+record committed.  A resumed run skips known-poison jobs unless the retry
+budget was raised.  A deterministic
+:class:`~repro.api.faults.FaultPlan` can inject crashes, hangs, transient
+errors, slow-downs and corrupt writes, so every one of those paths is an
+ordinary CI regression test.
+
 Every job derives its random streams from ``(seed, benchmark, locker,
 sample)`` alone (see :class:`~repro.api.scenario.JobSpec`), so serial and
-parallel executions of the same scenario produce bit-identical records.
+parallel executions of the same scenario produce bit-identical records —
+with or without retries, under any backend.
 """
 
 from __future__ import annotations
@@ -33,12 +50,12 @@ from __future__ import annotations
 import logging
 import random
 import time
-import traceback
 from collections import OrderedDict
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from .backends import (ExecutorBackend, ExecutionRound, JobOutcome,
+                       RetryPolicy, classify_failure, make_backend)
 from .registry import make_attack, make_locker, make_metric
 from .scenario import JobSpec, Scenario
 from .store import ResultsStore
@@ -51,12 +68,18 @@ _log = logging.getLogger(__name__)
 #: Base designs kept per process (jobs share them read-only).
 _DESIGN_CACHE_SIZE = 8
 
+#: Characters of a failure traceback kept in a ledger entry.
+_LEDGER_ERROR_CHARS = 4000
+
 
 class JobExecutionError(RuntimeError):
-    """Raised when one or more jobs of a parallel run failed.
+    """One or more jobs of a run failed past their retry budget.
 
-    Successfully completed jobs of the same run are committed to the store
-    before this is raised, so a resumed run re-executes only the failures.
+    :meth:`Runner.run` itself no longer raises this — a run degrades
+    gracefully, quarantining poison jobs to the failure ledger and
+    returning a report with :attr:`RunReport.failures` populated.  Callers
+    that want the historical fail-fast contract (the legacy experiment
+    pipeline does) call :meth:`RunReport.raise_for_failures`.
     """
 
 
@@ -113,7 +136,9 @@ def key_budget_for(job: JobSpec, num_operations: int) -> int:
 
 
 def execute_job(job: JobSpec, pair_table=None,
-                max_lanes: Optional[int] = None) -> Dict:
+                max_lanes: Optional[int] = None,
+                fault_plan=None, attempt: int = 0,
+                in_worker: bool = False) -> Dict:
     """Execute one job and return its (JSON-ready) record.
 
     The lock step replays the exact seeding of the historical
@@ -128,9 +153,23 @@ def execute_job(job: JobSpec, pair_table=None,
     ``max_lanes``, else ``"auto"`` — so every simulation sweep inside it is
     memory-bounded by default.  Tiling is bit-identical to the unchunked
     pass, so records are unchanged.
+
+    Args:
+        job: The job to execute.
+        pair_table: Runtime pair-table override for lockers and attacks.
+        max_lanes: Runner-level lane cap (overrides the job's own).
+        fault_plan: Optional :class:`~repro.api.faults.FaultPlan`; its
+            pre-execution faults (crash/hang/transient/slow) are injected
+            here, before the job body, so every backend exercises the same
+            failure surface.
+        attempt: Zero-based attempt number (feeds fault-plan decisions).
+        in_worker: True inside a pool worker process, where an injected
+            crash may genuinely kill the process.
     """
     from ..sim import lane_limit, warm_plan_cache
 
+    if fault_plan is not None:
+        fault_plan.apply(job.job_id, attempt, in_worker=in_worker)
     effective = max_lanes if max_lanes is not None else job.max_lanes
     with lane_limit(effective if effective is not None else "auto"):
         return _execute_job_body(job, pair_table, warm_plan_cache)
@@ -251,32 +290,6 @@ def schedule_chunks(todo: Sequence[Tuple[int, JobSpec]],
     return chunks
 
 
-def _run_job_group(scenario_dict: Dict, indices: Sequence[int],
-                   max_lanes: Optional[int] = None,
-                   ) -> List[Tuple[int, Optional[Dict], Optional[str]]]:
-    """Worker entry point: execute a group of jobs of one scenario.
-
-    Failures are isolated per job — one crashing job yields an ``(index,
-    None, traceback)`` entry while the rest of the group still returns its
-    records, so the parent can commit completed work to the store.
-    """
-    # The parent validated the scenario before dispatch; skip re-validation
-    # here so worker processes spawned without the caller's module imports
-    # (and therefore without its third-party registrations) don't reject a
-    # scenario the parent accepted.  A genuinely missing factory still fails
-    # inside execute_job with the registry's unknown-component error.
-    scenario = Scenario.from_dict(scenario_dict, validate=False)
-    jobs = scenario.expand()
-    results: List[Tuple[int, Optional[Dict], Optional[str]]] = []
-    for index in indices:
-        try:
-            results.append((index, execute_job(jobs[index],
-                                               max_lanes=max_lanes), None))
-        except Exception:
-            results.append((index, None, traceback.format_exc()))
-    return results
-
-
 @dataclass
 class RunReport:
     """Outcome of one :meth:`Runner.run` invocation.
@@ -289,6 +302,11 @@ class RunReport:
         records: ``{job_id: record}`` for *every* job of the scenario
             (executed now or loaded from the store).
         store_path: Store directory, or ``None`` for in-memory runs.
+        failures: One ledger-style entry per job that failed past its retry
+            budget this run — or was skipped as known-poison on resume
+            (``entry["skipped"]`` is then True).  Empty on a clean run.
+        quarantined: Number of jobs skipped because the failure ledger
+            already held them (resume with an unchanged retry budget).
     """
 
     scenario: Scenario
@@ -297,6 +315,24 @@ class RunReport:
     skipped: int
     records: Dict[str, Dict] = field(default_factory=dict)
     store_path: Optional[str] = None
+    failures: List[Dict] = field(default_factory=list)
+    quarantined: int = 0
+
+    def raise_for_failures(self) -> None:
+        """Raise :class:`JobExecutionError` when any job failed.
+
+        The historical fail-fast contract for callers that prefer an
+        exception over a partial report (the legacy experiment pipeline
+        does).  Completed records were committed before quarantine, so a
+        resumed run re-executes only the failures.
+        """
+        if not self.failures:
+            return
+        summary = "; ".join(entry["job_id"] for entry in self.failures)
+        first = self.failures[0].get("error") or "(no traceback captured)"
+        raise JobExecutionError(
+            f"{len(self.failures)} job(s) failed ({summary}); completed "
+            f"jobs were committed. First failure:\n{first}")
 
     def kpa_samples(self) -> List:
         """Flatten every attack record into ``KpaSample`` objects."""
@@ -329,7 +365,8 @@ class Runner:
         resume: Skip jobs whose store record already exists (on by default).
         progress: Optional ``progress(done, total, record)`` callback fired
             after every completed (or skipped) job — the same liveness-hook
-            convention as :meth:`SnapShotAttack.attack_many`.
+            convention as :meth:`SnapShotAttack.attack_many`.  A raising
+            hook is logged and ignored: an observer must not abort the run.
         pair_table: Runtime pair-table override handed to lockers and
             attacks.  Pair tables are live objects, not scenario data, so
             they are only supported for in-process runs (``jobs=1``).
@@ -338,16 +375,40 @@ class Runner:
             When both are unset, jobs run under the automatic per-plan cap
             (:func:`repro.sim.auto_max_lanes`); tiling is bit-identical, so
             records never depend on the setting.
+        backend: Executor backend — a registry name
+            (:func:`~repro.api.backends.backend_names`) or a ready
+            :class:`~repro.api.backends.ExecutorBackend` instance.
+            Defaults to the scenario's ``backend`` field, else ``"process"``
+            when ``jobs > 1`` and ``"serial"`` otherwise.
+        retries: Extra attempts per job after a transient failure (0 = fail
+            into quarantine immediately).  Defaults to the scenario's
+            ``retries`` field, else 0.  Mutually exclusive with
+            ``retry_policy``.
+        job_timeout: Per-job wall-clock budget in seconds; a job over it is
+            failed as ``timeout`` (transient — the budget is per attempt).
+            Defaults to the scenario's ``job_timeout`` field, else none.
+        retry_policy: Full :class:`~repro.api.backends.RetryPolicy` override
+            (attempt count *and* backoff shape).
+        fault_plan: Optional deterministic
+            :class:`~repro.api.faults.FaultPlan` injected into every
+            attempt — the chaos-testing hook.
 
     Raises:
         ValueError: for a non-positive ``jobs`` count, a non-positive
-            ``max_lanes``, or a ``pair_table`` combined with a process pool.
+            ``max_lanes``, a negative ``retries``, a non-positive
+            ``job_timeout``, ``retries`` combined with ``retry_policy``, or
+            a ``pair_table`` combined with a process pool.
     """
 
     def __init__(self, scenario: Scenario, store: Optional[ResultsStore] = None,
                  jobs: int = 1, resume: bool = True,
                  progress: Optional[ProgressFn] = None,
-                 pair_table=None, max_lanes: Optional[int] = None) -> None:
+                 pair_table=None, max_lanes: Optional[int] = None,
+                 backend: Union[str, ExecutorBackend, None] = None,
+                 retries: Optional[int] = None,
+                 job_timeout: Optional[float] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 fault_plan=None) -> None:
         if jobs < 1:
             raise ValueError("jobs must be positive")
         if pair_table is not None and jobs > 1:
@@ -355,6 +416,12 @@ class Runner:
                              "(pair tables are not scenario data)")
         if max_lanes is not None and max_lanes < 1:
             raise ValueError("max_lanes must be positive")
+        if retries is not None and retries < 0:
+            raise ValueError("retries must be non-negative")
+        if job_timeout is not None and job_timeout <= 0:
+            raise ValueError("job_timeout must be positive")
+        if retries is not None and retry_policy is not None:
+            raise ValueError("pass either retries or retry_policy, not both")
         self.scenario = scenario
         self.store = store
         self.jobs = jobs
@@ -362,6 +429,51 @@ class Runner:
         self.progress = progress
         self.pair_table = pair_table
         self.max_lanes = max_lanes
+        self.backend = backend
+        self.retries = retries
+        self.job_timeout = job_timeout
+        self.retry_policy = retry_policy
+        self.fault_plan = fault_plan
+
+    # ------------------------------------------------------------ resolution
+
+    def _resolve_backend(self, todo_size: int) -> ExecutorBackend:
+        """The backend instance this run executes on.
+
+        Explicit runner argument beats the scenario's ``backend`` field
+        beats the default (``"process"`` for ``jobs > 1``, ``"serial"``
+        otherwise).  The historical small-run optimisation is preserved:
+        when nobody *named* a backend and at most one job is pending, the
+        pool is skipped even with ``jobs > 1``.
+        """
+        choice = self.backend
+        if choice is None:
+            choice = self.scenario.backend
+        if choice is None:
+            serial = self.jobs == 1 or todo_size <= 1
+            choice = "serial" if serial else "process"
+        if isinstance(choice, ExecutorBackend):
+            return choice
+        backend = make_backend(choice)
+        if self.pair_table is not None and backend.name != "serial":
+            raise ValueError("a runtime pair_table requires the serial "
+                             "backend (pair tables are not scenario data)")
+        return backend
+
+    def _resolve_policy(self) -> RetryPolicy:
+        """The retry policy of this run (runner arg > scenario > default)."""
+        if self.retry_policy is not None:
+            return self.retry_policy
+        retries = self.retries
+        if retries is None:
+            retries = self.scenario.retries
+        return RetryPolicy(retries=retries or 0, seed=self.scenario.seed)
+
+    def _resolve_timeout(self) -> Optional[float]:
+        """The per-job wall-clock budget (runner arg > scenario > none)."""
+        if self.job_timeout is not None:
+            return self.job_timeout
+        return self.scenario.job_timeout
 
     # ---------------------------------------------------------------- running
 
@@ -369,7 +481,14 @@ class Runner:
         """Execute the scenario and return the aggregate report.
 
         Completed records are written to the store as they arrive, and the
-        manifest is rewritten at the end of the run.
+        manifest is rewritten at the end of the run.  Job failures never
+        abort the run: a transient failure (lost worker, timeout, retryable
+        exception) re-runs under the retry policy's backoff, and a job past
+        its budget — or one failing permanently — is *quarantined*: appended
+        to the store's ``failures.jsonl`` ledger, reported in
+        :attr:`RunReport.failures`, and skipped by later resumes until the
+        retry budget is raised.  Call :meth:`RunReport.raise_for_failures`
+        for the historical fail-fast behaviour.
 
         Raises:
             StoreError: when resuming against a store stamped by a
@@ -382,8 +501,8 @@ class Runner:
 
         self.scenario.validate()
         if self.store is not None:
-            # A run killed mid-write leaves *.json.tmp files behind; sweep
-            # them before anything reads the store so they never accumulate.
+            # A run killed mid-write leaves *.tmp files behind; sweep them
+            # before anything reads the store so they never accumulate.
             swept = self.store.sweep_temp_files()
             if swept:
                 _log.warning("removed %d stale temp file(s) from %s",
@@ -405,6 +524,11 @@ class Runner:
                            executed=0, skipped=0,
                            store_path=str(self.store.root)
                            if self.store else None)
+
+        policy = self._resolve_policy()
+        ledger: Dict[str, Dict] = {}
+        if self.resume and self.store is not None:
+            ledger = self.store.failed_job_ids()
 
         todo: List[Tuple[int, JobSpec]] = []
         done = 0
@@ -428,88 +552,153 @@ class Runner:
                 done += 1
                 # Skipped jobs still count towards progress so callers see
                 # the true completion state of a resumed run.
-                if self.progress is not None:
-                    self.progress(done, len(jobs), record)
+                self._fire_progress(done, len(jobs), record)
+            elif (job.job_id in ledger
+                  and policy.attempts <= int(
+                      ledger[job.job_id].get("attempts", 1))):
+                # Known poison under an unchanged (or lowered) retry budget:
+                # skip it rather than burn the same attempts again.  Raising
+                # retries past the recorded attempt count re-executes it.
+                entry = dict(ledger[job.job_id])
+                entry["skipped"] = True
+                report.failures.append(entry)
+                report.quarantined += 1
+                _log.warning(
+                    "skipping quarantined job %r (failed %s attempt(s) "
+                    "previously; raise retries to re-execute)",
+                    job.job_id, ledger[job.job_id].get("attempts", 1))
             else:
                 todo.append((index, job))
 
+        backend = self._resolve_backend(len(todo))
+        job_timeout = self._resolve_timeout()
+        scenario_dict = self.scenario.to_dict()
+        pending: Dict[int, JobSpec] = dict(todo)
+        attempts: Dict[int, int] = {index: 0 for index in pending}
+
         try:
-            if self.jobs == 1 or len(todo) <= 1:
-                for _, job in todo:
-                    record = execute_job(job, pair_table=self.pair_table,
-                                         max_lanes=self.max_lanes)
-                    done += 1
-                    self._commit(report, job, record, done, len(jobs))
-            else:
-                self._run_pool(report, jobs, todo)
+            first_round = True
+            while pending:
+                indices = sorted(pending)
+                if first_round:
+                    chunks = schedule_chunks(
+                        [(i, pending[i]) for i in indices], self.jobs)
+                else:
+                    # Retry rounds are sparse; singleton chunks keep every
+                    # worker busy and let per-job backoff delays overlap.
+                    chunks = [[i] for i in indices]
+                first_round = False
+                delays = {i: policy.delay(pending[i].job_id, attempts[i])
+                          for i in indices}
+                failed: Dict[int, JobOutcome] = {}
+
+                def emit(outcome: JobOutcome,
+                         _failed: Dict[int, JobOutcome] = failed) -> None:
+                    nonlocal done
+                    if outcome.ok:
+                        done += 1
+                        self._commit(report, pending[outcome.index],
+                                     outcome.record, done, len(jobs),
+                                     attempt=outcome.attempt)
+                    else:
+                        _failed[outcome.index] = outcome
+
+                backend.run_round(ExecutionRound(
+                    scenario_dict=scenario_dict, jobs=pending, chunks=chunks,
+                    attempts=attempts, delays=delays, workers=self.jobs,
+                    max_lanes=self.max_lanes, job_timeout=job_timeout,
+                    fault_plan=self.fault_plan, emit=emit,
+                    pair_table=self.pair_table))
+
+                for index in indices:
+                    job = pending[index]
+                    if job.job_id in report.records:
+                        del pending[index]
+                        continue
+                    outcome = failed.get(index)
+                    if outcome is None:
+                        # Backends emit one outcome per job; a hole here is
+                        # a backend bug, handled like a lost worker so the
+                        # job is never silently dropped.
+                        outcome = JobOutcome(
+                            index=index, job_id=job.job_id,
+                            attempt=attempts[index], kind="crash",
+                            error=f"backend {backend.name!r} reported no "
+                                  f"outcome for job {job.job_id!r}")
+                    attempts[index] += 1
+                    classification = classify_failure(outcome.kind,
+                                                      outcome.error or "")
+                    if (classification == "transient"
+                            and attempts[index] < policy.attempts):
+                        _log.warning(
+                            "job %r failed transiently (%s, attempt %d/%d); "
+                            "retrying", job.job_id, outcome.kind,
+                            attempts[index], policy.attempts)
+                        continue
+                    del pending[index]
+                    self._quarantine(report, job, outcome,
+                                     attempts[index], classification)
         finally:
+            backend.close()
             # Whatever happened, everything committed so far is resumable:
-            # the manifest reflects the records on disk.
+            # the manifest reflects the records on disk, and the ledger
+            # only keeps entries for jobs that still lack a record.
             if self.store is not None:
+                self.store.compact_failures(drop=set(report.records))
                 self.store.write_manifest(self.scenario,
                                           executed=report.executed,
                                           skipped=report.skipped)
         return report
 
+    # ------------------------------------------------------------ committing
+
     def _commit(self, report: RunReport, job: JobSpec, record: Dict,
-                done: int, total: int) -> None:
+                done: int, total: int, attempt: int = 0) -> None:
         report.records[job.job_id] = record
         report.executed += 1
         if self.store is not None:
-            self.store.save(job.job_id, record)
-        if self.progress is not None:
+            path = self.store.save(job.job_id, record)
+            if (self.fault_plan is not None
+                    and self.fault_plan.corrupts(job.job_id, attempt)):
+                # The corrupt fault strikes *after* the atomic write — from
+                # this process's view the save succeeded, exactly like a
+                # machine dying between the write and the next sync.
+                from .faults import corrupt_record_file
+
+                corrupt_record_file(path)
+        self._fire_progress(done, total, record)
+
+    def _fire_progress(self, done: int, total: int, record: Dict) -> None:
+        """Fire the progress hook; a raising hook must not abort the run."""
+        if self.progress is None:
+            return
+        try:
             self.progress(done, total, record)
+        except Exception:
+            _log.warning("progress hook raised for job %r; continuing",
+                         record.get("job_id"), exc_info=True)
 
-    def _run_pool(self, report: RunReport, jobs: List[JobSpec],
-                  todo: List[Tuple[int, JobSpec]]) -> None:
-        """Execute ``todo`` on a process pool, cost-aware and largest-first.
+    def _quarantine(self, report: RunReport, job: JobSpec,
+                    outcome: JobOutcome, attempts: int,
+                    classification: str) -> None:
+        """Give up on a job: ledger it and record the failure in the report.
 
-        Dispatch order comes from :func:`schedule_chunks`: benchmark-grouped
-        chunks (worker cache affinity) submitted in descending estimated-cost
-        order (pool utilisation); records are committed in the parent as
-        groups finish.
-
-        Raises:
-            JobExecutionError: after the pool drains, when any job failed —
-                every completed job was committed first, so a resumed run
-                re-executes only the failures.  A crashed worker process
-                (e.g. OOM killing the pool) fails its chunk's jobs the same
-                way instead of aborting the drain loop, so records from
-                other finished futures are still committed.
+        The run itself continues — quarantine is the graceful-degradation
+        half of the fault-tolerance layer.  The ledger entry carries enough
+        to debug (failure kind, classification, truncated traceback) and to
+        decide re-execution on resume (the attempt count).
         """
-        scenario_dict = self.scenario.to_dict()
-        chunks = schedule_chunks(todo, self.jobs)
-
-        done = report.skipped
-        by_index = {index: job for index, job in todo}
-        failures: List[Tuple[str, str]] = []
-        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-            pending = {pool.submit(_run_job_group, scenario_dict, chunk,
-                                   self.max_lanes): chunk
-                       for chunk in chunks}
-            while pending:
-                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    chunk = pending.pop(future)
-                    try:
-                        group = future.result()
-                    except Exception:
-                        # BrokenProcessPool and friends: the whole chunk is
-                        # lost, but the drain loop must keep committing the
-                        # groups that did finish.
-                        error = traceback.format_exc()
-                        failures.extend((by_index[index].job_id, error)
-                                        for index in chunk)
-                        continue
-                    for index, record, error in group:
-                        if error is not None:
-                            failures.append((by_index[index].job_id, error))
-                            continue
-                        done += 1
-                        self._commit(report, by_index[index], record,
-                                     done, len(jobs))
-        if failures:
-            summary = "; ".join(job_id for job_id, _ in failures)
-            raise JobExecutionError(
-                f"{len(failures)} job(s) failed ({summary}); completed jobs "
-                f"were committed. First failure:\n{failures[0][1]}")
+        entry = {
+            "job_id": job.job_id,
+            "failure": outcome.kind,
+            "classification": classification,
+            "attempts": attempts,
+            "error": (outcome.error or "")[:_LEDGER_ERROR_CHARS],
+            "scenario": self.scenario.fingerprint(),
+        }
+        _log.error("quarantining job %r after %d attempt(s): %s failure "
+                   "(%s)", job.job_id, attempts, outcome.kind,
+                   classification)
+        if self.store is not None:
+            self.store.append_failure(entry)
+        report.failures.append(entry)

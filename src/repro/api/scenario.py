@@ -405,6 +405,20 @@ class Scenario:
             (the default) lets the runner derive an automatic per-plan cap
             from the plan width, so scenario runs are memory-bounded either
             way.
+        retries: Default retry budget of the run — extra attempts a
+            transiently failing job may consume before it is quarantined to
+            the failure ledger.  ``None`` (the default) means 0; a
+            ``Runner(retries=...)`` / ``cli run --retries`` value overrides.
+        job_timeout: Default per-job wall-clock budget in seconds; ``None``
+            (the default) disables timeouts.  Overridable the same way.
+        backend: Default executor backend name (see
+            :func:`repro.api.backends.backend_names`); ``None`` picks
+            ``"process"`` for parallel runs and ``"serial"`` otherwise.
+
+    All three robustness fields are *run* defaults, not job data: they are
+    omitted from :meth:`to_dict` when unset, so the :meth:`fingerprint` —
+    and every store stamp — of a scenario that does not set them is
+    unchanged from before they existed.
     """
 
     name: str = "scenario"
@@ -417,6 +431,9 @@ class Scenario:
     seed: int = 0
     seeds: Tuple[int, ...] = ()
     max_lanes: Optional[int] = None
+    retries: Optional[int] = None
+    job_timeout: Optional[float] = None
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         _require(bool(self.name), "scenario name is required")
@@ -424,6 +441,12 @@ class Scenario:
         _require(self.scale > 0, "scale must be positive")
         _require(self.max_lanes is None or self.max_lanes >= 1,
                  f"max_lanes must be positive, got {self.max_lanes}")
+        _require(self.retries is None or self.retries >= 0,
+                 f"retries must be non-negative, got {self.retries}")
+        _require(self.job_timeout is None or self.job_timeout > 0,
+                 f"job_timeout must be positive, got {self.job_timeout}")
+        _require(self.backend is None or bool(self.backend),
+                 "backend name must be non-empty when given")
         _require(bool(self.benchmarks), "scenario needs at least one benchmark")
         _require(bool(self.lockers), "scenario needs at least one locker")
         _require(bool(self.attacks) or bool(self.metrics),
@@ -499,6 +522,11 @@ class Scenario:
                 _require(metric_id in known_metrics,
                          f"unknown metric {metric_id!r}; registered: "
                          f"{', '.join(sorted(known_metrics))}")
+            if self.backend is not None:
+                from .backends import backend_names
+                _require(self.backend in backend_names(),
+                         f"unknown executor backend {self.backend!r}; "
+                         f"registered: {', '.join(backend_names())}")
         return self
 
     # ------------------------------------------------------------ (de)serialise
@@ -516,8 +544,9 @@ class Scenario:
         data = json.loads(json.dumps(asdict(self)))
         if not data.get("seeds"):
             data.pop("seeds", None)
-        if data.get("max_lanes") is None:
-            data.pop("max_lanes", None)
+        for optional in ("max_lanes", "retries", "job_timeout", "backend"):
+            if data.get(optional) is None:
+                data.pop(optional, None)
         for component_key, axis_key in (("lockers", "key_budget_fractions"),
                                         ("attacks", "time_budgets")):
             for entry in data.get(component_key, ()):
@@ -540,7 +569,7 @@ class Scenario:
         """
         _check_keys(data, ("name", "benchmarks", "lockers", "attacks",
                            "metrics", "samples", "scale", "seed", "seeds",
-                           "max_lanes"),
+                           "max_lanes", "retries", "job_timeout", "backend"),
                     "scenario")
         scenario = cls(
             name=str(data.get("name", "scenario")),
@@ -557,6 +586,12 @@ class Scenario:
             seeds=tuple(int(value) for value in data.get("seeds", ())),
             max_lanes=(int(data["max_lanes"])
                        if data.get("max_lanes") is not None else None),
+            retries=(int(data["retries"])
+                     if data.get("retries") is not None else None),
+            job_timeout=(float(data["job_timeout"])
+                         if data.get("job_timeout") is not None else None),
+            backend=(str(data["backend"])
+                     if data.get("backend") is not None else None),
         )
         if validate:
             scenario.validate()

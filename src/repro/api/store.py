@@ -5,7 +5,18 @@ consumable by downstream tooling without keeping anything in memory:
 
 * ``<root>/jobs/<job_id>.json`` — one record per completed job,
 * ``<root>/manifest.json`` — the scenario, its fingerprint, and a summary of
-  every job (id, kind, status), rewritten at the end of each run.
+  every job (id, kind, status), rewritten at the end of each run,
+* ``<root>/failures.jsonl`` — the append-only *failure ledger*: one JSON
+  line per quarantined job (a job whose retry budget was exhausted), so a
+  run that degrades gracefully never *silently* drops work — resumes skip
+  known-poison jobs, ``repro.cli report`` surfaces them, and raising the
+  retry budget re-executes them.
+
+Every file write goes through a temp file + ``os.replace``
+(:func:`write_json_atomic`), so a crash at any instant leaves either the
+old content or the new one — never a truncated manifest, stamp or record.
+Ledger appends are the exception (an append is already all-or-nothing per
+line); a line truncated by a crash mid-append is skipped on read.
 
 A second run of the same scenario against an existing store skips every job
 whose record is already present (zero jobs executed on a complete store).
@@ -23,13 +34,33 @@ also answers "is this run complete?" (:meth:`ResultsStore.completion`) and
 from __future__ import annotations
 
 import json
+import logging
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional
+from typing import (Collection, Dict, Iterable, Iterator, List, Mapping,
+                    Optional)
 
 from .scenario import Scenario
 
 #: Manifest schema version (bump on incompatible record changes).
 MANIFEST_VERSION = 1
+
+_log = logging.getLogger(__name__)
+
+
+def write_json_atomic(path: Path, payload: object) -> Path:
+    """Write ``payload`` as JSON via a temp file + atomic ``os.replace``.
+
+    The single write primitive behind records, the manifest and the
+    scenario stamp: a crash before the rename leaves the old file intact
+    (plus a ``*.tmp`` leftover that :meth:`ResultsStore.sweep_temp_files`
+    removes), a crash after it leaves the complete new file — a truncated
+    JSON file is impossible either way.
+    """
+    path = Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2) + "\n")
+    tmp.replace(path)
+    return path
 
 
 def kpa_samples_from_records(records: Iterable[Mapping]) -> List:
@@ -89,6 +120,11 @@ class ResultsStore:
         """Path of the scenario stamp written at the *start* of every run."""
         return self.root / "scenario.json"
 
+    @property
+    def failures_path(self) -> Path:
+        """Path of the append-only failure ledger (``failures.jsonl``)."""
+        return self.root / "failures.jsonl"
+
     # ------------------------------------------------------------------ stamp
 
     def scenario_stamp(self) -> Optional[str]:
@@ -106,29 +142,30 @@ class ResultsStore:
     def write_scenario_stamp(self, scenario: Scenario) -> Path:
         """Bind this store to ``scenario`` (called before jobs execute).
 
-        Written atomically: the stamp is rewritten at the start of every
-        run (including resumes), and a kill mid-write must not corrupt the
-        identity of a store full of valid records.
+        Written atomically (:func:`write_json_atomic`): the stamp is
+        rewritten at the start of every run (including resumes), and a kill
+        mid-write must not corrupt the identity of a store full of valid
+        records.
         """
         self.root.mkdir(parents=True, exist_ok=True)
-        tmp = self.scenario_stamp_path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(
-            {"fingerprint": scenario.fingerprint(),
-             "scenario": scenario.to_dict()}, indent=2) + "\n")
-        tmp.replace(self.scenario_stamp_path)
-        return self.scenario_stamp_path
+        return write_json_atomic(self.scenario_stamp_path,
+                                 {"fingerprint": scenario.fingerprint(),
+                                  "scenario": scenario.to_dict()})
 
     def clear_records(self) -> None:
-        """Delete every job record and the manifest (the stamp stays)."""
+        """Delete every job record, the manifest and the failure ledger
+        (the stamp stays)."""
         if self.jobs_dir.exists():
             for path in self.jobs_dir.glob("*.json"):
                 path.unlink()
         if self.manifest_path.exists():
             self.manifest_path.unlink()
+        if self.failures_path.exists():
+            self.failures_path.unlink()
         self.sweep_temp_files()
 
     def sweep_temp_files(self) -> int:
-        """Delete ``*.json.tmp`` leftovers of runs killed mid-write.
+        """Delete ``*.tmp`` leftovers of runs killed mid-write.
 
         Every store write goes through a temp file + atomic rename, so a
         ``.tmp`` file only survives a crash between the two steps; its
@@ -142,9 +179,92 @@ class ResultsStore:
         for directory in (self.root, self.jobs_dir):
             if not directory.exists():
                 continue
-            for path in directory.glob("*.json.tmp"):
-                path.unlink()
-                removed += 1
+            for pattern in ("*.json.tmp", "*.jsonl.tmp"):
+                for path in directory.glob(pattern):
+                    path.unlink()
+                    removed += 1
+        return removed
+
+    # ------------------------------------------------------- failure ledger
+
+    def append_failure(self, entry: Mapping) -> Path:
+        """Append one quarantined-job entry to the failure ledger.
+
+        Appends are crash-safe by construction: each entry is one JSON
+        line, written and flushed in a single call, so a kill mid-append
+        can at worst truncate the final line — which :meth:`failures`
+        skips — and never damages earlier entries.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        with self.failures_path.open("a") as handle:
+            handle.write(json.dumps(dict(entry)) + "\n")
+        return self.failures_path
+
+    def failures(self) -> List[Dict]:
+        """Every readable entry of the failure ledger, in append order.
+
+        A line truncated by a crash mid-append is logged and skipped — the
+        ledger stays readable after any interruption.  Jobs quarantined
+        more than once appear once per quarantine; use
+        :meth:`failed_job_ids` for the latest entry per job.
+        """
+        if not self.failures_path.exists():
+            return []
+        entries: List[Dict] = []
+        for number, line in enumerate(
+                self.failures_path.read_text().splitlines(), 1):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                _log.warning("skipping unreadable failure-ledger line %d "
+                             "in %s (truncated append?)", number,
+                             self.failures_path)
+                continue
+            if isinstance(entry, dict):
+                entries.append(entry)
+        return entries
+
+    def failed_job_ids(self) -> Dict[str, Dict]:
+        """``{job_id: latest ledger entry}`` of every quarantined job."""
+        latest: Dict[str, Dict] = {}
+        for entry in self.failures():
+            job_id = entry.get("job_id")
+            if isinstance(job_id, str):
+                latest[job_id] = entry
+        return latest
+
+    def compact_failures(self, drop: Collection[str] = ()) -> int:
+        """Rewrite the ledger to its latest entry per job, dropping ids.
+
+        Called at the end of every run with the set of jobs that now have
+        records: a job that eventually succeeded is no longer poison, and
+        keeping its stale entry would wrongly skip it on the next resume.
+        The rewrite is atomic; the file is removed entirely when nothing
+        remains.
+
+        Args:
+            drop: Job ids whose entries are removed (jobs with records).
+
+        Returns:
+            The number of ledger entries removed (duplicates included).
+        """
+        if not self.failures_path.exists():
+            return 0
+        entries = self.failures()
+        latest = self.failed_job_ids()
+        keep = [entry for job_id, entry in latest.items()
+                if job_id not in set(drop)]
+        removed = len(entries) - len(keep)
+        if not keep:
+            self.failures_path.unlink()
+            return removed
+        if removed:
+            tmp = self.failures_path.with_suffix(".jsonl.tmp")
+            tmp.write_text("".join(json.dumps(entry) + "\n"
+                                   for entry in keep))
+            tmp.replace(self.failures_path)
         return removed
 
     # ---------------------------------------------------------------- records
@@ -158,13 +278,9 @@ class ResultsStore:
         return self.record_path(job_id).exists()
 
     def save(self, job_id: str, record: Mapping) -> Path:
-        """Write one job record (atomically via a temp file + rename)."""
+        """Write one job record (atomically, :func:`write_json_atomic`)."""
         self.jobs_dir.mkdir(parents=True, exist_ok=True)
-        path = self.record_path(job_id)
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(dict(record), indent=2) + "\n")
-        tmp.replace(path)
-        return path
+        return write_json_atomic(self.record_path(job_id), dict(record))
 
     def load(self, job_id: str) -> Dict:
         """Read one job record.
@@ -225,7 +341,15 @@ class ResultsStore:
         expanded = {job.job_id: job for job in scenario.expand()}
         summaries = []
         for job_id in self.job_ids():
-            record = self.load(job_id)
+            try:
+                record = self.load(job_id)
+            except StoreError:
+                # A record corrupted on disk (kill mid-write, bad sector) is
+                # the resume path's problem; the manifest still summarises
+                # every readable one.
+                _log.warning("skipping unreadable record %r while writing "
+                             "the manifest of %s", job_id, self.root)
+                continue
             job = expanded.get(job_id)
             summaries.append({
                 "job_id": job_id,
@@ -237,6 +361,8 @@ class ResultsStore:
                 "estimated_cost": (job.estimated_cost()
                                    if job is not None else None),
             })
+        quarantined = sorted(job_id for job_id in self.failed_job_ids()
+                             if job_id in expanded)
         manifest = {
             "version": MANIFEST_VERSION,
             "scenario": scenario.to_dict(),
@@ -247,13 +373,12 @@ class ResultsStore:
             "total_records": len(summaries),
             "jobs": summaries,
         }
+        if quarantined:
+            manifest["quarantined_jobs"] = quarantined
         # Atomic like save(): the manifest is (re)written from the runner's
         # finally block, where a second interrupt must not leave a truncated
         # file behind.
-        tmp = self.manifest_path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(manifest, indent=2) + "\n")
-        tmp.replace(self.manifest_path)
-        return self.manifest_path
+        return write_json_atomic(self.manifest_path, manifest)
 
     def manifest(self) -> Dict:
         """Read the manifest.

@@ -13,6 +13,7 @@ default but accepts any locker with a ``lock``/``relock`` interface.
 
 from __future__ import annotations
 
+import logging
 import random
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
@@ -23,6 +24,8 @@ from ..locking.assure import AssureLocker
 from ..locking.pairs import PairTable
 from ..rtlir.design import Design
 from .locality import LocalityExtractor
+
+_log = logging.getLogger(__name__)
 
 
 @dataclass
@@ -90,7 +93,8 @@ class TrainingSetBuilder:
             progress: Optional callback invoked as ``progress(done, rounds)``
                 after every relocking round — long sweeps (the paper uses
                 1000 rounds) can report liveness without threading state
-                through the attack.
+                through the attack.  A raising hook is logged and ignored:
+                an observer must not abort the sweep.
 
         Raises:
             ValueError: if the target is not locked (there is nothing to
@@ -117,7 +121,12 @@ class TrainingSetBuilder:
             feature_blocks.append(features)
             label_blocks.append(labels)
             if progress is not None:
-                progress(round_index + 1, self.rounds)
+                try:
+                    progress(round_index + 1, self.rounds)
+                except Exception:
+                    _log.warning("progress hook raised on round %d/%d; "
+                                 "continuing", round_index + 1, self.rounds,
+                                 exc_info=True)
 
         features = np.vstack(feature_blocks) if feature_blocks else np.zeros((0, self.extractor.n_features))
         labels = np.concatenate(label_blocks) if label_blocks else np.zeros((0,), dtype=int)

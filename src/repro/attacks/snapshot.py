@@ -15,6 +15,7 @@ The attack is oracle-less and purely structural:
 
 from __future__ import annotations
 
+import logging
 import random
 import zlib
 from dataclasses import dataclass, field
@@ -29,6 +30,8 @@ from ..rtlir.design import Design
 from .kpa import kpa
 from .locality import LocalityExtractor
 from .relock import TrainingSet, TrainingSetBuilder
+
+_log = logging.getLogger(__name__)
 
 
 @dataclass
@@ -257,14 +260,20 @@ class SnapShotAttack:
             algorithm: Optional locking-algorithm name recorded per result.
             progress: Optional callback invoked as
                 ``progress(done, total, result)`` after every completed
-                attack — the liveness hook for long sweeps.
+                attack — the liveness hook for long sweeps.  A raising hook
+                is logged and ignored: an observer must not abort the sweep.
         """
         results: List[AttackResult] = []
         for index, target in enumerate(targets):
             result = self.attack(target, algorithm=algorithm)
             results.append(result)
             if progress is not None:
-                progress(index + 1, len(targets), result)
+                try:
+                    progress(index + 1, len(targets), result)
+                except Exception:
+                    _log.warning("progress hook raised on target %d/%d; "
+                                 "continuing", index + 1, len(targets),
+                                 exc_info=True)
         return results
 
 

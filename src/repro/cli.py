@@ -31,13 +31,13 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from .api import (
-    JobExecutionError,
     Runner,
     ResultsStore,
     Scenario,
     ScenarioError,
     StoreError,
     attack_names,
+    backend_names,
     locker_names,
     make_attack,
 )
@@ -324,18 +324,31 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.max_lanes is not None and args.max_lanes < 1:
         print("error: --max-lanes must be positive", file=sys.stderr)
         return 1
+    if args.retries is not None and args.retries < 0:
+        print("error: --retries must be non-negative", file=sys.stderr)
+        return 1
+    if args.job_timeout is not None and args.job_timeout <= 0:
+        print("error: --job-timeout must be positive", file=sys.stderr)
+        return 1
+
+    fault_plan = None
+    if args.fault_plan is not None:
+        from .api.faults import FaultPlan, FaultPlanError
+
+        try:
+            fault_plan = FaultPlan.from_file(args.fault_plan)
+        except FaultPlanError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
 
     try:
         report = Runner(scenario, store=store, jobs=args.jobs,
                         resume=not args.no_resume, progress=progress,
-                        max_lanes=args.max_lanes).run()
-    except (ScenarioError, StoreError) as exc:
+                        max_lanes=args.max_lanes, backend=args.backend,
+                        retries=args.retries, job_timeout=args.job_timeout,
+                        fault_plan=fault_plan).run()
+    except (ScenarioError, StoreError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
-    except JobExecutionError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        print(f"Completed jobs were committed to {store.root}; re-run to "
-              "resume.", file=sys.stderr)
         return 1
     print(f"Scenario {scenario.name!r}: {report.total} job(s) — "
           f"{report.executed} executed, {report.skipped} skipped "
@@ -353,7 +366,32 @@ def cmd_run(args: argparse.Namespace) -> int:
     if metric_names_run:
         print(f"\nMetrics recorded: {', '.join(metric_names_run)} "
               f"(see {store.jobs_dir})")
+    if report.failures:
+        print(f"\n{len(report.failures)} job(s) failed past their retry "
+              f"budget (ledger: {store.failures_path}):")
+        print(_failures_table(report.failures))
+        print("Completed jobs were committed; raise --retries to "
+              "re-execute the quarantined ones on resume.")
+        return 1
     return 0
+
+
+def _failures_table(failures: List[dict]) -> str:
+    """Render ledger entries as the failed-jobs table of run/report output."""
+    rows = [(entry.get("job_id", "?"),
+             entry.get("failure", "?"),
+             entry.get("classification", "?"),
+             str(entry.get("attempts", "?")),
+             "skipped" if entry.get("skipped") else "this run")
+            for entry in failures]
+    header = ("job", "failure", "class", "attempts", "when")
+    widths = [max(len(header[col]), *(len(row[col]) for row in rows))
+              for col in range(len(header))]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip()]
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend("  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+                 .rstrip() for row in rows)
+    return "\n".join(lines)
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -612,6 +650,21 @@ def build_parser() -> argparse.ArgumentParser:
                      help="cap simulation sweeps at this many parallel lanes "
                           "per tile (default: scenario setting, else an "
                           "automatic per-plan memory budget)")
+    run.add_argument("--backend", choices=backend_names(), default=None,
+                     help="executor backend (default: scenario setting, else "
+                          "'process' with --jobs > 1 and 'serial' otherwise)")
+    run.add_argument("--retries", type=int, default=None,
+                     help="extra attempts per job after a transient failure "
+                          "(crash/timeout/retryable error) before it is "
+                          "quarantined to the failures.jsonl ledger "
+                          "(default: scenario setting, else 0)")
+    run.add_argument("--job-timeout", type=float, default=None,
+                     help="per-job wall-clock budget in seconds; an overdue "
+                          "job counts as a transient failure (default: "
+                          "scenario setting, else none)")
+    run.add_argument("--fault-plan", type=Path, default=None,
+                     help="JSON fault-injection plan (testing: deterministic "
+                          "crashes/hangs/transient errors/corrupt writes)")
     run.set_defaults(func=cmd_run)
 
     report = subparsers.add_parser(

@@ -285,6 +285,9 @@ class SnapShotExperiment:
         runner = Runner(scenario, store=store, jobs=jobs, resume=resume,
                         progress=on_record, pair_table=config.pair_table)
         report = runner.run()
+        # The legacy experiment pipeline keeps its historical fail-fast
+        # contract: a partial matrix would silently skew the aggregates.
+        report.raise_for_failures()
         return ExperimentResult.from_records(config, report.records)
 
     def load_design(self, benchmark: str) -> Design:

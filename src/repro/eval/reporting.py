@@ -242,6 +242,7 @@ def store_report_json(store, context: Optional[tuple] = None) -> Dict:
         "metric_records": metric_counts,
         "timing": (manifest.get("jobs", [])
                    if manifest is not None else []),
+        "failures": store.failures(),
     }
 
 
@@ -322,6 +323,18 @@ def store_report(store, context: Optional[tuple] = None) -> str:
         rendered = ", ".join(f"{name} ({count})"
                              for name, count in sorted(metric_counts.items()))
         parts += ["", f"Metric records: {rendered} (see {store.jobs_dir})"]
+
+    failures = store.failures()
+    if failures:
+        lines = [f"Quarantined jobs: {len(failures)} "
+                 f"(ledger: {store.failures_path})"]
+        for entry in failures:
+            lines.append(
+                f"  {entry.get('job_id', '?')}: {entry.get('failure', '?')} "
+                f"({entry.get('classification', '?')}, "
+                f"{entry.get('attempts', '?')} attempt(s)) — raise the "
+                "retry budget to re-execute")
+        parts += ["", "\n".join(lines)]
 
     if manifest is not None and manifest.get("jobs"):
         parts += ["", timing_table_text(manifest["jobs"])]

@@ -17,6 +17,8 @@ DOCUMENTED_MODULES = [
     "repro.api.scenario",
     "repro.api.runner",
     "repro.api.store",
+    "repro.api.backends",
+    "repro.api.faults",
     "repro.sim",
 ]
 
@@ -62,7 +64,9 @@ def test_every_api_export_resolves_and_is_documented():
 
 @pytest.mark.parametrize("module_name", ["repro.api.scenario",
                                          "repro.api.runner",
-                                         "repro.api.store"])
+                                         "repro.api.store",
+                                         "repro.api.backends",
+                                         "repro.api.faults"])
 def test_public_methods_have_docstrings(module_name):
     module = importlib.import_module(module_name)
     missing = []

@@ -1,0 +1,155 @@
+"""The deterministic fault-injection harness (``repro.api.faults``).
+
+A :class:`FaultPlan` must be a *pure function* of its seed and declaration —
+same decisions in any process, any order, any number of calls — because the
+chaos gate compares a faulted run against a fault-free one and blames any
+divergence on the recovery paths, not the dice.
+"""
+
+import json
+
+import pytest
+
+from repro.api.faults import (
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    InjectedCrashError,
+    InjectedTransientError,
+    corrupt_record_file,
+)
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            FaultSpec(kind="gremlin")
+
+    def test_rate_bounds(self):
+        with pytest.raises(FaultPlanError, match="rate"):
+            FaultSpec(kind="crash", rate=1.5)
+        with pytest.raises(FaultPlanError, match="rate"):
+            FaultSpec(kind="crash", rate=-0.1)
+
+    def test_seconds_must_be_positive(self):
+        with pytest.raises(FaultPlanError, match="seconds"):
+            FaultSpec(kind="hang", seconds=0.0)
+
+    def test_attempts_must_be_non_negative(self):
+        with pytest.raises(FaultPlanError, match="attempts"):
+            FaultSpec(kind="crash", attempts=(-1,))
+
+    def test_dict_round_trip(self):
+        spec = FaultSpec(kind="hang", rate=0.25, match="era",
+                         attempts=(0, 1), seconds=5.0)
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault field"):
+            FaultSpec.from_dict({"kind": "crash", "probability": 0.5})
+        with pytest.raises(FaultPlanError, match="needs a 'kind'"):
+            FaultSpec.from_dict({"rate": 0.5})
+
+
+class TestFaultPlanDraw:
+    def test_draw_is_deterministic(self):
+        plan = FaultPlan(seed=9, faults=(FaultSpec("crash", rate=0.3),))
+        decisions = [plan.draw(f"job-{i}", 0) for i in range(50)]
+        assert decisions == [plan.draw(f"job-{i}", 0) for i in range(50)]
+
+    def test_rate_zero_never_fires_rate_one_always(self):
+        never = FaultPlan(faults=(FaultSpec("crash", rate=0.0),))
+        always = FaultPlan(faults=(FaultSpec("crash", rate=1.0),))
+        assert all(never.draw(f"j{i}", 0) is None for i in range(20))
+        assert all(always.draw(f"j{i}", 0) is not None for i in range(20))
+
+    def test_partial_rate_hits_roughly_its_share(self):
+        plan = FaultPlan(seed=5, faults=(FaultSpec("crash", rate=0.2),))
+        hits = sum(plan.draw(f"job-{i}", 0) is not None for i in range(500))
+        assert 50 <= hits <= 150  # ~20 % of 500, generous bounds
+
+    def test_match_filters_by_job_id_substring(self):
+        plan = FaultPlan(faults=(FaultSpec("crash", match="era"),))
+        assert plan.draw("attack__SASC__era__snapshot__s0", 0) is not None
+        assert plan.draw("attack__SASC__assure__snapshot__s0", 0) is None
+
+    def test_attempts_filter(self):
+        plan = FaultPlan(faults=(FaultSpec("crash", attempts=(0,)),))
+        assert plan.draw("job", 0) is not None
+        assert plan.draw("job", 1) is None
+
+    def test_first_matching_spec_wins(self):
+        plan = FaultPlan(faults=(FaultSpec("transient", match="era"),
+                                 FaultSpec("slow", seconds=1.0)))
+        hit = plan.draw("metric__era__x", 0)
+        assert hit is not None and hit.kind == "transient"
+        other = plan.draw("metric__assure__x", 0)
+        assert other is not None and other.kind == "slow"
+
+    def test_seed_changes_the_decisions(self):
+        spec = FaultSpec("crash", rate=0.5)
+        a = [FaultPlan(seed=1, faults=(spec,)).draw(f"j{i}", 0) is not None
+             for i in range(50)]
+        b = [FaultPlan(seed=2, faults=(spec,)).draw(f"j{i}", 0) is not None
+             for i in range(50)]
+        assert a != b
+
+
+class TestFaultPlanApply:
+    def test_transient_raises(self):
+        plan = FaultPlan(faults=(FaultSpec("transient"),))
+        with pytest.raises(InjectedTransientError):
+            plan.apply("job", 0)
+
+    def test_crash_in_process_raises_instead_of_exiting(self):
+        plan = FaultPlan(faults=(FaultSpec("crash"),))
+        with pytest.raises(InjectedCrashError):
+            plan.apply("job", 0, in_worker=False)
+
+    def test_corrupt_is_commit_side_only(self):
+        plan = FaultPlan(faults=(FaultSpec("corrupt"),))
+        plan.apply("job", 0)  # no pre-execution effect
+        assert plan.corrupts("job", 0)
+        assert not FaultPlan().corrupts("job", 0)
+
+    def test_no_fault_is_a_noop(self):
+        FaultPlan().apply("job", 0)
+
+
+class TestFaultPlanIO:
+    def test_dict_round_trip(self):
+        plan = FaultPlan(seed=3, faults=(FaultSpec("crash", rate=0.2),
+                                         FaultSpec("slow", seconds=0.5)))
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_unknown_plan_fields_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault-plan field"):
+            FaultPlan.from_dict({"seed": 1, "chaos": True})
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "faults.json"
+        plan = FaultPlan(seed=3, faults=(FaultSpec("transient", rate=0.5),))
+        path.write_text(json.dumps(plan.to_dict()))
+        assert FaultPlan.from_file(path) == plan
+
+    def test_from_file_errors(self, tmp_path):
+        with pytest.raises(FaultPlanError, match="does not exist"):
+            FaultPlan.from_file(tmp_path / "missing.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(FaultPlanError, match="invalid fault-plan JSON"):
+            FaultPlan.from_file(bad)
+        array = tmp_path / "array.json"
+        array.write_text("[]")
+        with pytest.raises(FaultPlanError, match="must be an object"):
+            FaultPlan.from_file(array)
+
+
+class TestCorruptRecordFile:
+    def test_truncates_to_unparseable_json(self, tmp_path):
+        path = tmp_path / "record.json"
+        path.write_text(json.dumps({"job_id": "x", "result": [1, 2, 3]},
+                                   indent=2) + "\n")
+        corrupt_record_file(path)
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(path.read_text())

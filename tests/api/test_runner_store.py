@@ -179,16 +179,26 @@ class TestResumableStore:
                      MetricSpec("explode-test")))
         store = ResultsStore(tmp_path / "store")
         try:
-            with pytest.raises(JobExecutionError, match="explode-test"):
-                Runner(scenario, store=store, jobs=2).run()
+            report = Runner(scenario, store=store, jobs=2).run()
         finally:
             METRICS.unregister("explode-test")
-        # The avalanche jobs completed and were committed; only the failing
-        # jobs are re-executed on resume.
+        # A RuntimeError is a permanent failure: quarantined, not raised —
+        # the run degrades gracefully and reports the failures instead.
+        assert len(report.failures) == 2
+        assert all("explode-test" in entry["job_id"]
+                   for entry in report.failures)
+        assert all(entry["classification"] == "permanent"
+                   for entry in report.failures)
+        with pytest.raises(JobExecutionError, match="explode-test"):
+            report.raise_for_failures()
+        # The avalanche jobs completed and were committed; the failing jobs
+        # landed in the ledger.
         committed = store.job_ids()
         assert len(committed) == 2
         assert all("avalanche" in job_id for job_id in committed)
         assert store.manifest()["total_records"] == 2
+        assert set(store.failed_job_ids()) == \
+            {entry["job_id"] for entry in report.failures}
 
     def test_resume_refuses_a_foreign_scenario_store(self, tmp_path):
         store = ResultsStore(tmp_path / "store")

@@ -55,6 +55,24 @@ class TestTrainingSetBuilder:
                                       rng=random.Random(5)).build(target)
         assert training.features.shape[1] == extractor.n_features
 
+    def test_build_survives_a_raising_progress_hook(self, mixer_design, rng,
+                                                    caplog):
+        """Regression: an observer callback must not abort the rounds."""
+        target = AssureLocker("serial", rng=rng).lock(mixer_design, 4).design
+        calls = []
+
+        def bad_hook(done, rounds):
+            calls.append(done)
+            raise RuntimeError("observer bug")
+
+        with caplog.at_level("WARNING"):
+            training = TrainingSetBuilder(
+                rounds=3, rng=random.Random(6)).build(target,
+                                                      progress=bad_hook)
+        assert training.rounds == 3
+        assert calls == [1, 2, 3]
+        assert "progress hook raised" in caplog.text
+
 
 class TestSignalContent:
     def test_imbalanced_target_produces_biased_observations(self, plus_chain_design):

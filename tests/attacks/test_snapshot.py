@@ -51,6 +51,24 @@ class TestAttackMechanics:
         results = fast_attack.attack_many(targets, algorithm="assure")
         assert len(results) == 3
 
+    def test_attack_many_survives_a_raising_progress_hook(
+            self, mixer_design, fast_attack, caplog):
+        """Regression: an observer callback must not abort the sweep."""
+        targets = [AssureLocker("serial", rng=random.Random(i)).lock(
+            mixer_design, 4).design for i in range(3)]
+        calls = []
+
+        def bad_hook(done, total, result):
+            calls.append(done)
+            raise RuntimeError("observer bug")
+
+        with caplog.at_level("WARNING"):
+            results = fast_attack.attack_many(targets, algorithm="assure",
+                                              progress=bad_hook)
+        assert len(results) == 3
+        assert calls == [1, 2, 3]  # the hook kept firing after raising
+        assert "progress hook raised" in caplog.text
+
     def test_automl_model_by_default(self, mixer_design, rng):
         target = AssureLocker("serial", rng=rng).lock(mixer_design, 4).design
         attack = SnapShotAttack(rounds=6, time_budget=2.0, rng=random.Random(3))

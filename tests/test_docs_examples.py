@@ -28,7 +28,8 @@ def doc_json_blocks():
 
 
 def test_docs_tree_exists():
-    for page in ("architecture.md", "scenario-format.md", "performance.md"):
+    for page in ("architecture.md", "scenario-format.md", "performance.md",
+                 "robustness.md"):
         path = REPO_ROOT / "docs" / page
         assert path.exists(), f"missing docs page {path}"
         assert path.read_text().strip(), f"empty docs page {path}"
@@ -48,7 +49,7 @@ def test_doc_json_block_round_trips(index):
         scenario.fingerprint()
 
 
-@pytest.mark.parametrize("path", sorted(EXAMPLES_DIR.glob("*.json")),
+@pytest.mark.parametrize("path", sorted(EXAMPLES_DIR.glob("scenario_*.json")),
                          ids=lambda p: p.name)
 def test_example_scenario_round_trips(path):
     scenario = Scenario.from_file(path)
@@ -56,6 +57,25 @@ def test_example_scenario_round_trips(path):
     # The on-disk file is canonical JSON (an edit that breaks formatting or
     # adds unknown fields fails here, not at a user's machine).
     json.loads(path.read_text())
+
+
+@pytest.mark.parametrize("path", sorted(EXAMPLES_DIR.glob("faults_*.json")),
+                         ids=lambda p: p.name)
+def test_example_fault_plans_round_trip(path):
+    """The chaos-gate fault plans CI runs must parse and round-trip."""
+    from repro.api.faults import FaultPlan
+
+    plan = FaultPlan.from_file(path)
+    assert FaultPlan.from_dict(plan.to_dict()) == plan
+    assert plan.faults, f"{path.name} declares no faults"
+
+
+def test_example_json_files_are_covered():
+    """Every examples/*.json is either a scenario or a fault plan — a new
+    kind of example file must be added to these docs tests explicitly."""
+    covered = set(EXAMPLES_DIR.glob("scenario_*.json")) \
+        | set(EXAMPLES_DIR.glob("faults_*.json"))
+    assert set(EXAMPLES_DIR.glob("*.json")) == covered
 
 
 def test_matrix_example_exercises_all_three_axes():
