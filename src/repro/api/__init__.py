@@ -27,6 +27,13 @@ This package is the one import surface a workload author needs:
   :class:`FaultPlan` (crashes, hangs, transient errors, slow jobs, corrupt
   writes) that turns every recovery path above into an ordinary CI
   regression test.
+* **Scenario service** (:mod:`repro.api.server` / :mod:`repro.api.client` /
+  :mod:`repro.api.protocol`) — a persistent job daemon (``cli serve``):
+  clients submit scenarios over a newline-delimited-JSON socket, all runs
+  share one warm plan cache, progress streams back live (``watch``), and
+  resubmitted scenarios dedup by fingerprint into the existing store.  The
+  protocol layer is a typed ``Request``/``Response``/``Event`` envelope
+  with canonical error codes and a ``determinism_class`` tag.
 * **Results store** (:mod:`repro.api.store`) — one JSON record per job plus
   an aggregate manifest pairing measured wall time with the scheduler's
   cost estimates; re-runs against an existing store skip completed jobs,
@@ -115,6 +122,21 @@ __all__ = [
     "FaultPlanError",
     "InjectedTransientError",
     "InjectedCrashError",
+    "PROTOCOL_VERSION",
+    "ERROR_CODES",
+    "OPS",
+    "ProtocolError",
+    "Request",
+    "Response",
+    "Event",
+    "determinism_class",
+    "ScenarioServer",
+    "ServerJob",
+    "JobCancelled",
+    "run_server",
+    "ScenarioClient",
+    "ServerError",
+    "parse_address",
 ]
 
 #: Lazy attribute → defining submodule map (PEP 562).  The scenario/runner/
@@ -155,6 +177,21 @@ _LAZY = {
     "FaultPlanError": "faults",
     "InjectedTransientError": "faults",
     "InjectedCrashError": "faults",
+    "PROTOCOL_VERSION": "protocol",
+    "ERROR_CODES": "protocol",
+    "OPS": "protocol",
+    "ProtocolError": "protocol",
+    "Request": "protocol",
+    "Response": "protocol",
+    "Event": "protocol",
+    "determinism_class": "protocol",
+    "ScenarioServer": "server",
+    "ServerJob": "server",
+    "JobCancelled": "server",
+    "run_server": "server",
+    "ScenarioClient": "client",
+    "ServerError": "client",
+    "parse_address": "client",
 }
 
 

@@ -404,6 +404,12 @@ class ProcessPoolBackend(ExecutorBackend):
     cooperative way to stop a hung child), the hung job fails as
     ``timeout`` and the other unfinished jobs as ``crash`` — both
     transient, so a retry budget re-runs them on a fresh pool.
+
+    Interrupts (SIGTERM/SIGINT arriving as ``KeyboardInterrupt`` /
+    ``SystemExit``) exit *gracefully*: already-reported results are drained
+    and committed, in-flight workers are killed rather than awaited, and
+    the exception propagates so the runner's ``finally`` block writes the
+    manifest — a stopped run leaves a cleanly resumable store.
     """
 
     #: Drain/heartbeat polling period of the parent loop, in seconds.
@@ -437,7 +443,8 @@ class ProcessPoolBackend(ExecutorBackend):
         started: Dict[int, float] = {}
         hung: set = set()
         chunk_errors: Dict[int, str] = {}
-        with ProcessPoolExecutor(max_workers=round_.workers) as pool:
+        pool = ProcessPoolExecutor(max_workers=round_.workers)
+        try:
             pending = {
                 pool.submit(_pool_worker, round_.scenario_dict, list(chunk),
                             {i: round_.attempts.get(i, 0) for i in chunk},
@@ -461,6 +468,21 @@ class ProcessPoolBackend(ExecutorBackend):
                             chunk_errors.setdefault(index, error)
                 if round_.job_timeout is not None and pending:
                     self._kill_overdue(pool, round_, done, started, hung)
+        except BaseException:
+            # SIGTERM/SIGINT land here as KeyboardInterrupt/SystemExit
+            # (``cli run`` and ``cli serve`` convert SIGTERM).  Graceful
+            # exit means: commit everything the workers already reported,
+            # then *kill* the in-flight workers — a default shutdown would
+            # block on them (possibly forever, if one is hung), and their
+            # half-finished jobs re-execute on resume anyway.  The runner's
+            # ``finally`` block then writes the manifest, so the store the
+            # stopped process leaves behind is cleanly resumable.
+            self._drain(channel, round_, done, started)
+            for process in list(getattr(pool, "_processes", {}).values()):
+                process.terminate()
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        pool.shutdown(wait=True)
         # Messages may still be in flight when the pool breaks; one final
         # drain after shutdown collects them.
         self._drain(channel, round_, done, started)

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import json
 import logging
+from contextlib import contextmanager
 from pathlib import Path
 from typing import (Collection, Dict, Iterable, Iterator, List, Mapping,
                     Optional)
@@ -45,6 +46,26 @@ from .scenario import Scenario
 MANIFEST_VERSION = 1
 
 _log = logging.getLogger(__name__)
+
+
+@contextmanager
+def _file_lock(handle):
+    """Advisory exclusive ``flock`` over an open file (no-op without fcntl).
+
+    Serialises concurrent appends to the failure ledger across processes;
+    advisory locking is enough because every writer goes through
+    :meth:`ResultsStore.append_failure`.
+    """
+    try:
+        import fcntl
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        yield
+        return
+    fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+    try:
+        yield
+    finally:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
 
 def write_json_atomic(path: Path, payload: object) -> Path:
@@ -194,10 +215,19 @@ class ResultsStore:
         line, written and flushed in a single call, so a kill mid-append
         can at worst truncate the final line — which :meth:`failures`
         skips — and never damages earlier entries.
+
+        Appends are also *concurrency-safe*: the write happens under an
+        advisory ``flock`` on the ledger file, so multiple runner
+        processes sharing one store root (a scenario server's workers, a
+        multi-host run) never interleave partial lines.  On platforms
+        without ``fcntl`` the lock degrades to the plain append.
         """
         self.root.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(dict(entry)) + "\n"
         with self.failures_path.open("a") as handle:
-            handle.write(json.dumps(dict(entry)) + "\n")
+            with _file_lock(handle):
+                handle.write(line)
+                handle.flush()
         return self.failures_path
 
     def failures(self) -> List[Dict]:

@@ -11,6 +11,11 @@ and attacked without writing Python:
 * ``repro-lock run      scenario.json --jobs 4``      — run a declarative scenario (resumable)
 * ``repro-lock report   runs/<name>``                 — re-render figures/tables from a results store
 * ``repro-lock sim-bench --json BENCH_sim.json``      — micro-benchmark the simulation engines
+* ``repro-lock serve    --runs-root runs``            — persistent scenario service (warm plan cache)
+* ``repro-lock submit   scenario.json --watch``       — submit a scenario to a running server
+* ``repro-lock status   [job-0001]``                  — server/job status over the service protocol
+* ``repro-lock watch    job-0001``                    — stream a job's progress events
+* ``repro-lock report   job-0001 --remote SOCK``      — fetch a store report from the server
 
 Locking algorithms and attacks are resolved through the :mod:`repro.api`
 registries, so the ``--algorithm``/``--attack`` choices (and their ``--help``
@@ -301,6 +306,27 @@ def _dry_run_plan(scenario, store, args) -> int:
     return 0
 
 
+def _sigterm_as_keyboard_interrupt():
+    """Route SIGTERM through KeyboardInterrupt for the duration of a run.
+
+    ``kill <pid>`` then behaves like Ctrl-C: the executor backend kills its
+    in-flight workers, commits everything already reported, and the runner
+    writes the manifest — so the store stays cleanly resumable.  Returns a
+    restore callable; a no-op off the main thread (tests drive :func:`main`
+    from worker threads) and on platforms without SIGTERM.
+    """
+    import signal
+
+    def handler(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        previous = signal.signal(signal.SIGTERM, handler)
+    except (ValueError, AttributeError, OSError):
+        return lambda: None
+    return lambda: signal.signal(signal.SIGTERM, previous)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """Run a declarative scenario file through the parallel runner."""
     try:
@@ -341,6 +367,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 1
 
+    restore_sigterm = _sigterm_as_keyboard_interrupt()
     try:
         report = Runner(scenario, store=store, jobs=args.jobs,
                         resume=not args.no_resume, progress=progress,
@@ -350,6 +377,16 @@ def cmd_run(args: argparse.Namespace) -> int:
     except (ScenarioError, StoreError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except KeyboardInterrupt:
+        # SIGTERM/SIGINT mid-run: the backend killed its workers and the
+        # runner's finally block wrote the manifest, so everything that
+        # finished is committed and the store resumes cleanly.
+        print(f"\ninterrupted — completed jobs are committed in "
+              f"{store.root}; re-run the same command to resume",
+              file=sys.stderr)
+        return 130
+    finally:
+        restore_sigterm()
     print(f"Scenario {scenario.name!r}: {report.total} job(s) — "
           f"{report.executed} executed, {report.skipped} skipped "
           f"(resume {'off' if args.no_resume else 'on'})")
@@ -394,6 +431,193 @@ def _failures_table(failures: List[dict]) -> str:
     return "\n".join(lines)
 
 
+# ---------------------------------------------------------------------------
+# Scenario service commands
+# ---------------------------------------------------------------------------
+
+
+def _default_socket(args: argparse.Namespace) -> str:
+    """The address a service command talks to: --socket, else the default
+    the server binds without one (``<runs-root>/server.sock``)."""
+    if args.socket is not None:
+        return str(args.socket)
+    return str(Path("runs") / "server.sock")
+
+
+def _format_job_line(job: dict) -> str:
+    done = job.get("done", 0)
+    total = job.get("total") or "?"
+    return (f"{job.get('job_id', '?'):10s} {job.get('state', '?'):9s} "
+            f"{done}/{total}  {job.get('scenario', '?')} "
+            f"[{job.get('determinism_class', '?')}] -> {job.get('store', '?')}")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the persistent scenario service in the foreground."""
+    from .api.client import parse_address
+    from .api.server import run_server
+
+    host = port = None
+    socket_path = args.socket
+    if args.tcp is not None:
+        try:
+            kind, target = parse_address(f"tcp:{args.tcp}")
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        host, port = target
+        socket_path = None
+    if args.workers < 1:
+        print("error: --workers must be positive", file=sys.stderr)
+        return 1
+    if args.run_jobs < 1:
+        print("error: --run-jobs must be positive", file=sys.stderr)
+        return 1
+    try:
+        return run_server(runs_root=args.runs_root, socket_path=socket_path,
+                          host=host, port=port, workers=args.workers,
+                          run_jobs=args.run_jobs, ready=args.ready_file)
+    except OSError as exc:
+        print(f"error: cannot start server: {exc}", file=sys.stderr)
+        return 1
+
+
+def _progress_printer(quiet: bool):
+    def on_event(data: dict) -> None:
+        if quiet:
+            return
+        total = data.get("total") or "?"
+        print(f"[{data.get('done', 0)}/{total}] {data.get('kind', 'progress')}"
+              f" ({data.get('elapsed_seconds', 0.0):.2f}s)")
+    return on_event
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a scenario to a running server (optionally watch it finish)."""
+    from .api.client import ScenarioClient, ServerError
+
+    try:
+        with ScenarioClient(_default_socket(args)) as client:
+            submitted = client.submit(args.scenario, store=args.store)
+            job_id = submitted["job_id"]
+            if submitted.get("deduplicated"):
+                print(f"{job_id}: already known "
+                      f"(state {submitted.get('state')}, "
+                      f"store {submitted.get('store')})")
+            else:
+                print(f"{job_id}: queued at position "
+                      f"{submitted.get('position', '?')} "
+                      f"(store {submitted.get('store')})")
+            if not args.watch:
+                return 0
+            final = client.watch(job_id,
+                                 on_event=_progress_printer(args.quiet))
+    except (ScenarioError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except ServerError as exc:
+        print(f"error [{exc.code}]: {exc.message}", file=sys.stderr)
+        return 1
+    except ConnectionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"{job_id}: {final['state']} — {final.get('executed', 0)} executed, "
+          f"{final.get('skipped', 0)} skipped, "
+          f"{final.get('quarantined', 0)} quarantined")
+    if final["state"] != "done" or final.get("failures"):
+        if final.get("error"):
+            print(f"error: {final['error']}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """Show server status (no argument) or one job's status."""
+    from .api.client import ScenarioClient, ServerError
+
+    try:
+        with ScenarioClient(_default_socket(args)) as client:
+            if args.job is None:
+                info = client.ping()
+                cache = info.get("plan_cache") or {}
+                print(f"server pid {info.get('pid')} at "
+                      f"{info.get('address')} — protocol "
+                      f"v{info.get('protocol')}, uptime "
+                      f"{info.get('uptime_seconds', 0.0):.1f}s")
+                states = info.get("jobs") or {}
+                print("jobs: " + ", ".join(f"{state}={states.get(state, 0)}"
+                                           for state in sorted(states))
+                      if states else "jobs: none yet")
+                print(f"plan cache: {cache.get('hits', 0)} hits, "
+                      f"{cache.get('misses', 0)} misses, "
+                      f"{cache.get('size', 0)}/{cache.get('maxsize', '?')} "
+                      f"plans held")
+                if args.json:
+                    print(json.dumps(info, indent=2))
+                return 0
+            status = client.status(args.job)
+            if args.json:
+                print(json.dumps(status, indent=2))
+            else:
+                print(_format_job_line(status))
+                if status.get("error"):
+                    print(f"error: {status['error']}")
+            return 0
+    except ServerError as exc:
+        print(f"error [{exc.code}]: {exc.message}", file=sys.stderr)
+        return 1
+    except ConnectionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    """Stream a job's progress events until it reaches a terminal state."""
+    from .api.client import ScenarioClient, ServerError
+
+    try:
+        with ScenarioClient(_default_socket(args)) as client:
+            final = client.watch(args.job,
+                                 on_event=_progress_printer(args.quiet))
+    except ServerError as exc:
+        print(f"error [{exc.code}]: {exc.message}", file=sys.stderr)
+        return 1
+    except ConnectionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(_format_job_line(final))
+    if final.get("error"):
+        print(f"error: {final['error']}", file=sys.stderr)
+    return 0 if final["state"] == "done" and not final.get("failures") else 1
+
+
+def _cmd_report_remote(args: argparse.Namespace) -> int:
+    """The --remote branch of ``report``: render server-side, print here."""
+    from .api.client import ScenarioClient, ServerError
+
+    target = str(args.store)
+    params = {"job_id": target} if target.startswith("job-") \
+        else {"store": target}
+    try:
+        with ScenarioClient(args.remote) as client:
+            result = client.report(**params)
+    except ServerError as exc:
+        print(f"error [{exc.code}]: {exc.message}", file=sys.stderr)
+        return 1
+    except ConnectionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    report = result.get("report", "")
+    print(report)
+    if args.output is not None:
+        args.output.write_text(report + "\n")
+        print(f"\nReport written to {args.output}")
+    if args.json is not None:
+        args.json.write_text(json.dumps(result.get("data"), indent=2) + "\n")
+        print(f"\nJSON report written to {args.json}")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Render figures and tables from a results store — no re-simulation.
 
@@ -408,6 +632,8 @@ def cmd_report(args: argparse.Namespace) -> int:
     from .eval import store_report, store_report_json
     from .eval.reporting import store_context
 
+    if args.remote is not None:
+        return _cmd_report_remote(args)
     store = ResultsStore(args.store)
     if not store.root.exists():
         print(f"error: results store {store.root} does not exist",
@@ -672,7 +898,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="render figures/tables from a results store (no re-simulation)")
     report.add_argument("store", type=Path,
                         help="results-store directory written by 'run' or "
-                             "'evaluate --store'")
+                             "'evaluate --store' (with --remote: a store "
+                             "path visible to the server, or a job id like "
+                             "job-0001)")
     report.add_argument("-o", "--output", type=Path, default=None,
                         help="also write the report to a file")
     report.add_argument("--json", type=Path, nargs="?",
@@ -680,7 +908,68 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the machine-readable report (Fig. 6 + "
                              "axis-sweep data with confidence intervals) as "
                              "JSON (default path: report.json)")
+    report.add_argument("--remote", metavar="ADDR", default=None,
+                        help="render on a running scenario server instead "
+                             "of reading the store locally (socket path or "
+                             "tcp:HOST:PORT)")
     report.set_defaults(func=cmd_report)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the persistent scenario service (warm plan cache)")
+    serve.add_argument("--runs-root", type=Path, default=Path("runs"),
+                       help="directory holding per-scenario stores and the "
+                            "default socket (default: runs)")
+    serve.add_argument("--socket", type=Path, default=None,
+                       help="Unix socket path "
+                            "(default: <runs-root>/server.sock)")
+    serve.add_argument("--tcp", metavar="HOST:PORT", default=None,
+                       help="listen on TCP instead of a Unix socket "
+                            "(port 0 picks a free port)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="concurrent scenario runs (default: 1)")
+    serve.add_argument("--run-jobs", type=int, default=1,
+                       help="runner worker processes per scenario "
+                            "(default: 1, serial — the bit-identical path)")
+    serve.add_argument("--ready-file", type=Path, default=None,
+                       help="write {address, pid} JSON here once the "
+                            "listener is bound (for scripts/CI)")
+    serve.set_defaults(func=cmd_serve)
+
+    submit = subparsers.add_parser(
+        "submit", help="submit a scenario to a running server")
+    submit.add_argument("scenario", type=Path,
+                        help="scenario JSON file (validated server-side)")
+    submit.add_argument("--socket", default=None,
+                        help="server address: socket path or tcp:HOST:PORT "
+                             "(default: runs/server.sock)")
+    submit.add_argument("--store", type=Path, default=None,
+                        help="override the server's per-fingerprint store "
+                             "directory")
+    submit.add_argument("--watch", action="store_true",
+                        help="stream progress and wait for the job to finish")
+    submit.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress per-job progress lines while watching")
+    submit.set_defaults(func=cmd_submit)
+
+    status = subparsers.add_parser(
+        "status", help="server status, or one job's status")
+    status.add_argument("job", nargs="?", default=None,
+                        help="job id (omit for the server summary, including "
+                             "plan-cache statistics)")
+    status.add_argument("--socket", default=None,
+                        help="server address (default: runs/server.sock)")
+    status.add_argument("--json", action="store_true",
+                        help="print the raw JSON result")
+    status.set_defaults(func=cmd_status)
+
+    watch = subparsers.add_parser(
+        "watch", help="stream a job's progress events until it finishes")
+    watch.add_argument("job", help="job id (e.g. job-0001)")
+    watch.add_argument("--socket", default=None,
+                       help="server address (default: runs/server.sock)")
+    watch.add_argument("-q", "--quiet", action="store_true",
+                       help="only print the final state line")
+    watch.set_defaults(func=cmd_watch)
 
     sim_bench = subparsers.add_parser(
         "sim-bench",

@@ -60,6 +60,81 @@ class TestFit:
         assert fit_cost_model({}) is None
 
 
+class TestRecalibrationFromPartialRun:
+    """Refitting from a quarantine-containing manifest skips failed jobs.
+
+    Only committed records get ``jobs`` summaries in the manifest (a
+    quarantined job has no record, hence no ``elapsed_seconds``/
+    ``estimated_cost`` pair), so a fit over a partial run is exactly a fit
+    over the successful jobs — never polluted by failures.
+    """
+
+    def partial_store(self, tmp_path):
+        from repro.api import (AttackSpec, LockerSpec, ResultsStore, Runner,
+                               Scenario)
+        from repro.api.faults import FaultPlan, FaultSpec
+
+        scenario = Scenario(
+            name="calib-partial", benchmarks=("SASC",),
+            lockers=(LockerSpec("assure"), LockerSpec("era")),
+            attacks=(AttackSpec("snapshot", rounds=4, time_budget=0.5),),
+            samples=1, scale=0.15, seed=3)
+        # The era job never succeeds: one attempt, then quarantine.
+        poison = FaultPlan(seed=1, faults=(
+            FaultSpec("transient", rate=1.0, match="era"),))
+        store = ResultsStore(tmp_path / "partial")
+        report = Runner(scenario, store=store, retries=0,
+                        fault_plan=poison).run()
+        assert report.executed == 1 and len(report.failures) == 1
+        return store
+
+    def test_fit_covers_only_successful_jobs(self, tmp_path):
+        from repro.api import fit_cost_model_from_store
+
+        store = self.partial_store(tmp_path)
+        manifest = store.manifest()
+        assert manifest["quarantined_jobs"] == \
+            ["attack__SASC__era__snapshot__s0"]
+        summarised = {entry["job_id"] for entry in manifest["jobs"]}
+        assert "attack__SASC__era__snapshot__s0" not in summarised
+
+        model = fit_cost_model_from_store(store)
+        assert model is not None
+        assert model.jobs == 1  # the quarantined job contributed nothing
+        assert model.ms_per_unit > 0.0
+
+    def test_fit_matches_successful_jobs_only_fit(self, tmp_path):
+        from repro.api import fit_cost_model, fit_cost_model_from_pairs
+
+        store = self.partial_store(tmp_path)
+        manifest = store.manifest()
+        pairs = [(entry.get("elapsed_seconds"), entry.get("estimated_cost"))
+                 for entry in manifest["jobs"]]
+        by_hand = fit_cost_model_from_pairs(pairs)
+        refit = fit_cost_model(manifest)
+        assert refit is not None and by_hand is not None
+        assert refit.ms_per_unit == pytest.approx(by_hand.ms_per_unit)
+        assert refit.jobs == by_hand.jobs
+
+    def test_fully_quarantined_manifest_yields_no_model(self, tmp_path):
+        from repro.api import (AttackSpec, LockerSpec, ResultsStore, Runner,
+                               Scenario, fit_cost_model_from_store)
+        from repro.api.faults import FaultPlan, FaultSpec
+
+        scenario = Scenario(
+            name="calib-empty", benchmarks=("SASC",),
+            lockers=(LockerSpec("era"),),
+            attacks=(AttackSpec("snapshot", rounds=4, time_budget=0.5),),
+            samples=1, scale=0.15, seed=3)
+        poison = FaultPlan(seed=1, faults=(FaultSpec("transient", rate=1.0),))
+        store = ResultsStore(tmp_path / "allbad")
+        report = Runner(scenario, store=store, retries=0,
+                        fault_plan=poison).run()
+        assert report.executed == 0 and len(report.failures) == 1
+        # No successful job, no timing pair, no model — not a crash.
+        assert fit_cost_model_from_store(store) is None
+
+
 class TestFitFromStore:
     def test_store_without_manifest_returns_none(self, tmp_path):
         from repro.api import ResultsStore

@@ -170,3 +170,84 @@ class TestCrashedWorker:
         assert {job.job_id for job in scenario.expand()} - set(committed) == \
             {job.job_id for job in scenario.expand()
              if "crash-worker-test" in job.job_id}
+
+
+class TestSigtermMidRun:
+    """Graceful SIGTERM: kill a process-backend run, then resume it."""
+
+    def test_sigterm_commits_drained_records_and_resumes(self, tmp_path):
+        """Regression: SIGTERM used to leave ``ProcessPoolExecutor`` blocked
+        in its ``with``-exit (``shutdown(wait=True)``) behind hung workers,
+        and the aborted run committed nothing.  The backend now kills its
+        in-flight workers and commits everything already reported, the
+        runner's ``finally`` writes the manifest, and the CLI exits 130 —
+        leaving a partial store a plain re-run completes."""
+        import signal
+        import subprocess
+        import sys
+
+        scenario = quick_scenario(samples=2)  # 4 jobs
+        scenario_path = tmp_path / "scenario.json"
+        scenario.save(scenario_path)
+        # Every job sleeps first, so the run is reliably mid-flight when
+        # the signal lands; the resume below runs without the fault plan.
+        plan_path = tmp_path / "slow.json"
+        plan_path.write_text(json.dumps({
+            "seed": 0,
+            "faults": [{"kind": "slow", "rate": 1.0, "seconds": 1.0}],
+        }))
+        store_path = tmp_path / "store"
+
+        src_root = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(src_root) + os.pathsep + \
+            env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "run", str(scenario_path),
+             "--jobs", "2", "--backend", "process",
+             "--fault-plan", str(plan_path), "--store", str(store_path),
+             "-q"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True)
+
+        store = ResultsStore(store_path)
+        try:
+            # SIGTERM as soon as the first record commits: provably
+            # mid-run, with slow jobs still in flight.
+            deadline = time.time() + 120.0
+            while time.time() < deadline and not store.job_ids():
+                if process.poll() is not None:
+                    break
+                time.sleep(0.05)
+            assert store.job_ids(), "no record committed before the deadline"
+            process.send_signal(signal.SIGTERM)
+            _, stderr = process.communicate(timeout=60)
+        finally:
+            if process.poll() is None:  # pragma: no cover - cleanup
+                process.kill()
+                process.communicate()
+
+        assert process.returncode == 130, stderr
+        assert "resume" in stderr  # the operator was told how to continue
+
+        # The interrupted store is a *partial, resumable* store: committed
+        # records survived and the manifest was written on the way out.
+        committed = store.job_ids()
+        assert 0 < len(committed) < 4
+        assert store.manifest_path.exists()
+
+        report = Runner(scenario, store=store).run()
+        assert report.total == 4
+        assert report.skipped == len(committed)
+        assert report.executed == 4 - len(committed)
+        assert not report.failures
+
+        baseline = Runner(quick_scenario(samples=2),
+                          store=ResultsStore(tmp_path / "baseline")).run()
+
+        def stable(records):
+            return {job_id: {k: v for k, v in record.items()
+                             if k != "elapsed_seconds"}
+                    for job_id, record in records.items()}
+
+        assert stable(report.records) == stable(baseline.records)

@@ -357,3 +357,44 @@ class TestManifestCostData:
 
         report = store_report(store)
         assert "Average KPA" in report and "no manifest" in report
+
+
+class TestFailureLedgerConcurrency:
+    def test_concurrent_appends_never_interleave(self, tmp_path):
+        """Parallel writers sharing one ledger produce only whole lines.
+
+        Each entry is padded well past the stdio buffer so an unlocked
+        append would issue several write syscalls — exactly the window the
+        advisory ``flock`` in :meth:`ResultsStore.append_failure` closes.
+        Every append opens its own file handle, so same-process threads
+        contend on the lock the same way separate runner processes do.
+        """
+        import threading
+
+        store = ResultsStore(tmp_path / "store")
+        writers, per_writer = 8, 20
+        padding = "x" * 200_000
+
+        def append_entries(writer: int) -> None:
+            for number in range(per_writer):
+                store.append_failure({
+                    "job_id": f"w{writer}-e{number}",
+                    "failure": "crash",
+                    "padding": padding,
+                })
+
+        threads = [threading.Thread(target=append_entries, args=(writer,))
+                   for writer in range(writers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        entries = store.failures()
+        assert len(entries) == writers * per_writer
+        assert {entry["job_id"] for entry in entries} == {
+            f"w{writer}-e{number}"
+            for writer in range(writers) for number in range(per_writer)}
+        # Raw check: every physical line is one complete JSON object.
+        for line in store.failures_path.read_text().splitlines():
+            assert json.loads(line)["failure"] == "crash"

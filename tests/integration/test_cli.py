@@ -547,3 +547,156 @@ class TestSimBench:
         out = capsys.readouterr().out
         assert "sweep [ms]" in out
         assert "NO" not in out
+
+
+SERVICE_SCENARIO = json.dumps({
+    "name": "cli-svc",
+    "benchmarks": ["SASC"],
+    "lockers": [{"algorithm": "era", "key_budget_fraction": 0.75}],
+    "attacks": [{"name": "snapshot", "rounds": 4, "time_budget": 0.5}],
+    "samples": 1,
+    "scale": 0.15,
+    "seed": 3,
+})
+
+
+class TestServiceCommands:
+    """`submit`/`status`/`watch`/`report --remote` against a live server."""
+
+    @pytest.fixture
+    def server(self, tmp_path):
+        from repro.api.server import ScenarioServer
+
+        instance = ScenarioServer(runs_root=tmp_path / "runs")
+        instance.start()
+        yield instance
+        instance.stop()
+
+    @pytest.fixture
+    def scenario_file(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(SERVICE_SCENARIO)
+        return path
+
+    def test_submit_watch_roundtrip(self, server, scenario_file, capsys):
+        code = main(["submit", str(scenario_file),
+                     "--socket", server.address, "--watch"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "job-0001: queued" in out
+        assert "done — 1 executed" in out
+
+    def test_resubmission_is_deduplicated(self, server, scenario_file,
+                                          capsys):
+        assert main(["submit", str(scenario_file),
+                     "--socket", server.address, "--watch", "-q"]) == 0
+        capsys.readouterr()
+        assert main(["submit", str(scenario_file),
+                     "--socket", server.address]) == 0
+        assert "already known" in capsys.readouterr().out
+
+    def test_status_summary_and_job(self, server, scenario_file, capsys):
+        assert main(["submit", str(scenario_file),
+                     "--socket", server.address, "--watch", "-q"]) == 0
+        capsys.readouterr()
+        assert main(["status", "--socket", server.address]) == 0
+        out = capsys.readouterr().out
+        assert "plan cache:" in out
+        assert "done=1" in out
+        assert main(["status", "job-0001", "--socket", server.address]) == 0
+        assert "done" in capsys.readouterr().out
+
+    def test_watch_finished_job(self, server, scenario_file, capsys):
+        assert main(["submit", str(scenario_file),
+                     "--socket", server.address, "--watch", "-q"]) == 0
+        capsys.readouterr()
+        assert main(["watch", "job-0001", "--socket", server.address]) == 0
+        out = capsys.readouterr().out
+        assert "[1/1]" in out  # replayed history
+        assert "done" in out
+
+    def test_report_remote_by_job_and_store(self, server, scenario_file,
+                                            tmp_path, capsys):
+        assert main(["submit", str(scenario_file),
+                     "--socket", server.address, "--watch", "-q"]) == 0
+        capsys.readouterr()
+        json_out = tmp_path / "report.json"
+        assert main(["report", "job-0001", "--remote", server.address,
+                     "--json", str(json_out)]) == 0
+        out = capsys.readouterr().out
+        assert "cli-svc" in out
+        assert json.loads(json_out.read_text())
+        from repro.api import Scenario
+
+        fingerprint = Scenario.from_dict(
+            json.loads(SERVICE_SCENARIO)).fingerprint()
+        store = str(server.runs_root / f"cli-svc-{fingerprint}")
+        assert main(["report", store, "--remote", server.address]) == 0
+        assert "cli-svc" in capsys.readouterr().out
+
+    def test_submit_without_server_fails_cleanly(self, tmp_path,
+                                                 scenario_file, capsys):
+        code = main(["submit", str(scenario_file),
+                     "--socket", str(tmp_path / "absent.sock")])
+        assert code == 1
+        assert "no scenario server" in capsys.readouterr().err
+
+    def test_invalid_scenario_surfaces_code_and_cause(self, server, tmp_path,
+                                                      capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"name": "bad"}')
+        code = main(["submit", str(bad), "--socket", server.address])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "INVALID_SCENARIO" in err
+        assert "at least one benchmark" in err
+
+    def test_unknown_job_errors(self, server, capsys):
+        assert main(["status", "job-9999",
+                     "--socket", server.address]) == 1
+        assert "UNKNOWN_JOB" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    """`cli serve` as a real daemon process (the CI service job's shape)."""
+
+    def test_serve_submit_sigterm_roundtrip(self, tmp_path):
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time as time_module
+
+        from repro.api.client import ScenarioClient
+
+        scenario_path = tmp_path / "scenario.json"
+        scenario_path.write_text(SERVICE_SCENARIO)
+        runs_root = tmp_path / "runs"
+        ready_file = tmp_path / "ready.json"
+
+        src_root = os.path.abspath(
+            os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--runs-root", str(runs_root), "--ready-file", str(ready_file)],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True)
+        try:
+            deadline = time_module.time() + 60.0
+            while time_module.time() < deadline and not ready_file.exists():
+                assert process.poll() is None, process.communicate()[1]
+                time_module.sleep(0.05)
+            address = json.loads(ready_file.read_text())["address"]
+            with ScenarioClient(address) as client:
+                submitted = client.submit(scenario_path)
+                final = client.wait(submitted["job_id"])
+                assert final["state"] == "done"
+            process.send_signal(signal.SIGTERM)
+            _, stderr = process.communicate(timeout=60)
+        finally:
+            if process.poll() is None:  # pragma: no cover - cleanup
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0, stderr

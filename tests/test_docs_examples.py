@@ -16,6 +16,7 @@ from repro.api import Scenario
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 SCENARIO_DOC = REPO_ROOT / "docs" / "scenario-format.md"
+SERVICE_DOC = REPO_ROOT / "docs" / "service.md"
 EXAMPLES_DIR = REPO_ROOT / "examples"
 
 _FENCED_JSON = re.compile(r"```json\n(.*?)```", re.DOTALL)
@@ -85,6 +86,56 @@ def test_matrix_example_exercises_all_three_axes():
     assert all(len(values) == 2 for values in axes.values())
     attack_jobs = [job for job in scenario.expand() if job.kind == "attack"]
     assert len(attack_jobs) == 8  # 2 seeds x 2 key sizes x 2 budgets
+
+
+def service_doc_blocks():
+    """Every fenced ```json block of the service-protocol reference."""
+    return [match.strip()
+            for match in _FENCED_JSON.findall(SERVICE_DOC.read_text())]
+
+
+def test_service_doc_has_envelope_examples():
+    assert len(service_doc_blocks()) >= 6
+
+
+@pytest.mark.parametrize("index", range(len(_FENCED_JSON.findall(
+    SERVICE_DOC.read_text()))))
+def test_service_doc_envelope_round_trips(index):
+    """Every documented wire example decodes through the real protocol.
+
+    Requests go through the server-side decoder, responses/events through
+    the client-side one, and each re-encodes to the identical payload —
+    so the protocol page cannot drift from ``repro.api.protocol``.
+    """
+    from repro.api.protocol import (Event, Request, Response, decode_request,
+                                    decode_server_message, encode)
+
+    block = service_doc_blocks()[index]
+    payload = json.loads(block)
+    if "op" in payload:
+        message = decode_request(block)
+        assert isinstance(message, Request)
+        if "scenario" in message.params:
+            # The documented submit body must be a real, valid scenario.
+            Scenario.from_dict(message.params["scenario"])
+    else:
+        message = decode_server_message(block)
+        assert isinstance(message, (Response, Event))
+        error = getattr(message, "error", None)
+        if error is not None:
+            from repro.api.protocol import ERROR_CODES
+
+            assert error["code"] in ERROR_CODES
+    assert json.loads(encode(message)) == payload
+
+
+def test_service_doc_error_table_is_complete():
+    """The error-code table documents exactly the canonical codes."""
+    from repro.api.protocol import ERROR_CODES
+
+    text = SERVICE_DOC.read_text()
+    for code in ERROR_CODES:
+        assert f"`{code}`" in text, f"service.md does not document {code}"
 
 
 def test_readme_links_into_docs():
