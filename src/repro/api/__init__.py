@@ -23,6 +23,12 @@ This package is the one import surface a workload author needs:
   enforcement with lost-worker detection, and transient-vs-permanent
   failure classification feeding the store's ``failures.jsonl``
   quarantine ledger.
+* **Co-evolution** (:mod:`repro.api.coevo`) — a seeded locker-vs-attack
+  search loop (:class:`CoevoLoop` / :func:`run_coevo`): locker genomes
+  (algorithm, key-budget fraction, declared option genes) evolve against
+  the scenario's attack roster with KPA + avalanche fitness, each
+  generation expanded into ordinary jobs and run through the Runner — so
+  the loop inherits resume, backends and determinism for free.
 * **Fault injection** (:mod:`repro.api.faults`) — a deterministic, seeded
   :class:`FaultPlan` (crashes, hangs, transient errors, slow jobs, corrupt
   writes) that turns every recovery path above into an ordinary CI
@@ -90,11 +96,17 @@ __all__ = [
     "register_metric",
     # Lazily resolved (see __getattr__):
     "AttackSpec",
+    "CoevoSpec",
     "JobSpec",
     "LockerSpec",
     "MetricSpec",
     "Scenario",
     "ScenarioError",
+    "CoevoError",
+    "CoevoLoop",
+    "CoevoReport",
+    "Genome",
+    "run_coevo",
     "JobExecutionError",
     "Runner",
     "RunReport",
@@ -145,11 +157,17 @@ __all__ = [
 #: that cycle open.
 _LAZY = {
     "AttackSpec": "scenario",
+    "CoevoSpec": "scenario",
     "JobSpec": "scenario",
     "LockerSpec": "scenario",
     "MetricSpec": "scenario",
     "Scenario": "scenario",
     "ScenarioError": "scenario",
+    "CoevoError": "coevo",
+    "CoevoLoop": "coevo",
+    "CoevoReport": "coevo",
+    "Genome": "coevo",
+    "run_coevo": "coevo",
     "JobExecutionError": "runner",
     "Runner": "runner",
     "RunReport": "runner",

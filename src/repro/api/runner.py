@@ -198,6 +198,11 @@ def _execute_job_body(job: JobSpec, pair_table, warm_plan_cache) -> Dict:
         "num_operations": num_operations,
         "key_width": locked.design.key_width,
     }
+    if job.locker.label is not None:
+        # Labelled lockers (option variants, coevo genomes) tag their
+        # records so aggregations can tell configurations of the same
+        # algorithm apart; unlabelled jobs keep the historical record shape.
+        record["locker_label"] = job.locker.label
     if job.axes:
         # Swept jobs carry their matrix-axis point so sweep tables can be
         # rendered from records alone; single-value jobs keep the exact

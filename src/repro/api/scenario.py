@@ -32,6 +32,7 @@ the axes existed — same job ids, same seeds, same records.
 from __future__ import annotations
 
 import json
+import re
 import zlib
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
@@ -116,6 +117,10 @@ def format_axis_value(value: object) -> str:
     return str(value)
 
 
+#: Filename-safe locker labels: job ids embed them between ``__`` separators.
+_LABEL_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9.\-]*$")
+
+
 @dataclass(frozen=True)
 class LockerSpec:
     """One locking algorithm of a scenario.
@@ -130,12 +135,19 @@ class LockerSpec:
             own job (same locking stream, different budget — a controlled
             key-size comparison) tagged ``kb<value>`` in the ``job_id``.
         options: Extra factory keyword arguments (free-form, JSON-valued).
+        label: Optional display/job-id name of this locker entry.  Labels
+            let one scenario hold *several configurations of the same
+            algorithm* (option variants, co-evolution genomes) side by side:
+            the ``job_id`` and the records' ``locker_label`` use the label,
+            while seeds stay algorithm-based — so a configuration's results
+            depend only on its parameters, never on what it was called.
     """
 
     algorithm: str
     key_budget_fraction: float = 0.75
     options: Dict[str, object] = field(default_factory=dict)
     key_budget_fractions: Tuple[float, ...] = ()
+    label: Optional[str] = None
 
     def __post_init__(self) -> None:
         _require(bool(self.algorithm), "locker algorithm name is required")
@@ -146,6 +158,15 @@ class LockerSpec:
                      f"got {fraction}")
         _check_axis(self.key_budget_fractions, "key_budget_fractions")
         _check_options(self.options, ("rng", "pair_table"), "locker")
+        if self.label is not None:
+            _require(bool(_LABEL_RE.match(self.label)),
+                     f"locker label {self.label!r} is not filename-safe; "
+                     "use letters, digits, '.' and '-'")
+
+    @property
+    def display_name(self) -> str:
+        """The job-id/display name: the label when set, else the algorithm."""
+        return self.label if self.label is not None else self.algorithm
 
     def fraction_axis(self) -> Tuple[float, ...]:
         """The swept key-budget fractions, or the single configured value."""
@@ -157,7 +178,8 @@ class LockerSpec:
         if isinstance(data, str):
             return cls(algorithm=data)
         _check_keys(data, ("algorithm", "key_budget_fraction",
-                           "key_budget_fractions", "options"), "locker")
+                           "key_budget_fractions", "options", "label"),
+                    "locker")
         _require("algorithm" in data, "locker needs an 'algorithm' field")
         return cls(algorithm=data["algorithm"],
                    key_budget_fraction=float(
@@ -165,7 +187,9 @@ class LockerSpec:
                    options=dict(data.get("options", {})),
                    key_budget_fractions=tuple(
                        float(value)
-                       for value in data.get("key_budget_fractions", ())))
+                       for value in data.get("key_budget_fractions", ())),
+                   label=(str(data["label"])
+                          if data.get("label") is not None else None))
 
 
 @dataclass(frozen=True)
@@ -261,6 +285,119 @@ class MetricSpec:
 
 
 @dataclass(frozen=True)
+class CoevoSpec:
+    """Co-evolution settings of a scenario (see :mod:`repro.api.coevo`).
+
+    The spec describes the *search*, not the workload: a scenario carrying a
+    ``coevo`` block still expands, validates and runs exactly like a plain
+    scenario (``expand()`` ignores the block), so the file round-trips
+    through every existing tool — including ``repro.api.server`` — unchanged.
+    The :class:`~repro.api.coevo.CoevoLoop` reads the block to evolve locker
+    configurations (algorithm choice, key-budget fraction, declared option
+    genes) against the scenario's attack roster, scoring each genome by KPA
+    resistance and avalanche sensitivity.
+
+    Attributes:
+        generations: Evolution rounds to run.
+        population: Locker genomes per generation.
+        elites: Top genomes carried into the next generation unchanged.
+        algorithms: Candidate locking algorithms of the genome's algorithm
+            gene; empty means "the scenario's own lockers' algorithms".
+        fraction_min: Lower bound of the key-budget-fraction gene.
+        fraction_max: Upper bound of the key-budget-fraction gene.
+        mutation_rate: Per-gene mutation probability of an offspring.
+        mutation_scale: Fraction-gene perturbation size, relative to the
+            ``[fraction_min, fraction_max]`` interval.
+        option_space: ``{option name: [candidate JSON values]}`` — extra
+            locker-factory option genes; each genome carries one candidate
+            per option.
+        kpa_weight: Fitness weight of attack resistance (``100 − mean
+            KPA`` over the scenario's attack roster).
+        avalanche_weight: Fitness weight of the avalanche-sensitivity term
+            (``100 × mean sensitivity`` of the locked samples).
+        avalanche_vectors: Vectors of the avalanche metric jobs the loop
+            appends when the scenario does not measure avalanche itself.
+    """
+
+    generations: int = 4
+    population: int = 4
+    elites: int = 1
+    algorithms: Tuple[str, ...] = ()
+    fraction_min: float = 0.25
+    fraction_max: float = 1.0
+    mutation_rate: float = 0.35
+    mutation_scale: float = 0.2
+    option_space: Dict[str, Tuple] = field(default_factory=dict)
+    kpa_weight: float = 1.0
+    avalanche_weight: float = 0.25
+    avalanche_vectors: int = 8
+
+    def __post_init__(self) -> None:
+        # Normalise gene-value containers so directly constructed specs
+        # compare equal to their JSON round-trips.
+        object.__setattr__(self, "algorithms", tuple(self.algorithms))
+        object.__setattr__(self, "option_space",
+                           {name: tuple(values) for name, values
+                            in self.option_space.items()})
+        _require(self.generations >= 1, "coevo generations must be positive")
+        _require(self.population >= 1, "coevo population must be positive")
+        _require(0 <= self.elites < self.population,
+                 f"coevo elites must be in [0, population), got "
+                 f"{self.elites} of {self.population}")
+        for bound in (self.fraction_min, self.fraction_max):
+            _require(0.0 < bound <= 1.0,
+                     f"coevo fraction bounds must be in (0, 1], got {bound}")
+        _require(self.fraction_min <= self.fraction_max,
+                 "coevo fraction_min must not exceed fraction_max")
+        _require(0.0 <= self.mutation_rate <= 1.0,
+                 f"coevo mutation_rate must be in [0, 1], "
+                 f"got {self.mutation_rate}")
+        _require(self.mutation_scale > 0,
+                 "coevo mutation_scale must be positive")
+        for name, values in self.option_space.items():
+            _require(bool(name), "coevo option_space names must be non-empty")
+            _require(len(tuple(values)) >= 1,
+                     f"coevo option_space entry {name!r} needs at least one "
+                     "candidate value")
+        _require(self.kpa_weight >= 0 and self.avalanche_weight >= 0,
+                 "coevo fitness weights must be non-negative")
+        _require(self.kpa_weight > 0 or self.avalanche_weight > 0,
+                 "coevo needs at least one positive fitness weight")
+        _require(self.avalanche_vectors >= 1,
+                 "coevo avalanche_vectors must be positive")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready dict form (round-trips via :meth:`from_dict`)."""
+        return json.loads(json.dumps(asdict(self)))
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CoevoSpec":
+        """Build from a mapping (the ``coevo`` block of a scenario file)."""
+        _check_keys(data, ("generations", "population", "elites",
+                           "algorithms", "fraction_min", "fraction_max",
+                           "mutation_rate", "mutation_scale", "option_space",
+                           "kpa_weight", "avalanche_weight",
+                           "avalanche_vectors"), "coevo")
+        option_space = {str(name): tuple(values) for name, values
+                        in dict(data.get("option_space", {})).items()}
+        return cls(
+            generations=int(data.get("generations", 4)),
+            population=int(data.get("population", 4)),
+            elites=int(data.get("elites", 1)),
+            algorithms=tuple(str(name)
+                             for name in data.get("algorithms", ())),
+            fraction_min=float(data.get("fraction_min", 0.25)),
+            fraction_max=float(data.get("fraction_max", 1.0)),
+            mutation_rate=float(data.get("mutation_rate", 0.35)),
+            mutation_scale=float(data.get("mutation_scale", 0.2)),
+            option_space=option_space,
+            kpa_weight=float(data.get("kpa_weight", 1.0)),
+            avalanche_weight=float(data.get("avalanche_weight", 0.25)),
+            avalanche_vectors=int(data.get("avalanche_vectors", 8)),
+        )
+
+
+@dataclass(frozen=True)
 class JobSpec:
     """One independent unit of work of an expanded scenario.
 
@@ -318,7 +455,7 @@ class JobSpec:
             target = self.metric.name
         suffix = "".join(f"__{AXIS_TAGS[axis]}{format_axis_value(value)}"
                          for axis, value in self.axes)
-        return (f"{self.kind}__{self.benchmark}__{self.locker.algorithm}"
+        return (f"{self.kind}__{self.benchmark}__{self.locker.display_name}"
                 f"__{target}__s{self.sample}{suffix}")
 
     def estimated_cost(self) -> float:
@@ -414,11 +551,16 @@ class Scenario:
         backend: Default executor backend name (see
             :func:`repro.api.backends.backend_names`); ``None`` picks
             ``"process"`` for parallel runs and ``"serial"`` otherwise.
+        coevo: Optional :class:`CoevoSpec` — the co-evolution search
+            settings consumed by :class:`repro.api.coevo.CoevoLoop`.
+            :meth:`expand` ignores it, so the scenario still runs as a
+            plain workload everywhere (runner, service, report).
 
     All three robustness fields are *run* defaults, not job data: they are
     omitted from :meth:`to_dict` when unset, so the :meth:`fingerprint` —
     and every store stamp — of a scenario that does not set them is
-    unchanged from before they existed.
+    unchanged from before they existed.  The same omission rule applies to
+    ``coevo``.
     """
 
     name: str = "scenario"
@@ -434,6 +576,7 @@ class Scenario:
     retries: Optional[int] = None
     job_timeout: Optional[float] = None
     backend: Optional[str] = None
+    coevo: Optional[CoevoSpec] = None
 
     def __post_init__(self) -> None:
         _require(bool(self.name), "scenario name is required")
@@ -491,9 +634,10 @@ class Scenario:
         Raises:
             ScenarioError: naming duplicates or unknown components.
         """
-        locker_ids = [spec.algorithm for spec in self.lockers]
+        locker_ids = [spec.display_name for spec in self.lockers]
         _require(len(set(locker_ids)) == len(locker_ids),
-                 "duplicate locker algorithms in scenario")
+                 "duplicate locker names in scenario (give repeated "
+                 "algorithms distinct 'label' fields)")
         attack_ids = [spec.name for spec in self.attacks]
         _require(len(set(attack_ids)) == len(attack_ids),
                  "duplicate attacks in scenario")
@@ -508,10 +652,16 @@ class Scenario:
                          f"unknown benchmark {benchmark!r}; available: "
                          f"{', '.join(sorted(known_benchmarks))}")
             known_lockers = set(locker_names(include_aliases=True))
-            for locker_id in locker_ids:
-                _require(locker_id in known_lockers,
-                         f"unknown locking algorithm {locker_id!r}; "
+            for spec in self.lockers:
+                _require(spec.algorithm in known_lockers,
+                         f"unknown locking algorithm {spec.algorithm!r}; "
                          f"registered: {', '.join(sorted(known_lockers))}")
+            if self.coevo is not None:
+                for algorithm in self.coevo.algorithms:
+                    _require(algorithm in known_lockers,
+                             f"unknown coevo algorithm {algorithm!r}; "
+                             f"registered: "
+                             f"{', '.join(sorted(known_lockers))}")
             known_attacks = set(attack_names(include_aliases=True))
             for attack_id in attack_ids:
                 _require(attack_id in known_attacks,
@@ -544,7 +694,8 @@ class Scenario:
         data = json.loads(json.dumps(asdict(self)))
         if not data.get("seeds"):
             data.pop("seeds", None)
-        for optional in ("max_lanes", "retries", "job_timeout", "backend"):
+        for optional in ("max_lanes", "retries", "job_timeout", "backend",
+                         "coevo"):
             if data.get(optional) is None:
                 data.pop(optional, None)
         for component_key, axis_key in (("lockers", "key_budget_fractions"),
@@ -552,6 +703,9 @@ class Scenario:
             for entry in data.get(component_key, ()):
                 if not entry.get(axis_key):
                     entry.pop(axis_key, None)
+        for entry in data.get("lockers", ()):
+            if entry.get("label") is None:
+                entry.pop("label", None)
         return data
 
     @classmethod
@@ -569,7 +723,8 @@ class Scenario:
         """
         _check_keys(data, ("name", "benchmarks", "lockers", "attacks",
                            "metrics", "samples", "scale", "seed", "seeds",
-                           "max_lanes", "retries", "job_timeout", "backend"),
+                           "max_lanes", "retries", "job_timeout", "backend",
+                           "coevo"),
                     "scenario")
         scenario = cls(
             name=str(data.get("name", "scenario")),
@@ -592,6 +747,8 @@ class Scenario:
                          if data.get("job_timeout") is not None else None),
             backend=(str(data["backend"])
                      if data.get("backend") is not None else None),
+            coevo=(CoevoSpec.from_dict(data["coevo"])
+                   if data.get("coevo") is not None else None),
         )
         if validate:
             scenario.validate()

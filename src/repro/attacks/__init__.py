@@ -20,6 +20,7 @@ from .kpa import (
     kpa,
 )
 from .locality import FEATURE_SETS, Locality, LocalityExtractor
+from .oracle import OracleBudgetAttack
 from .relock import TrainingSet, TrainingSetBuilder
 from .snapshot import AttackResult, SnapShotAttack
 
@@ -38,6 +39,7 @@ __all__ = [
     "FEATURE_SETS",
     "Locality",
     "LocalityExtractor",
+    "OracleBudgetAttack",
     "TrainingSet",
     "TrainingSetBuilder",
     "AttackResult",

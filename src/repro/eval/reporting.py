@@ -281,11 +281,28 @@ def store_report(store, context: Optional[tuple] = None) -> str:
             rendered = "; ".join(f"{axis}={values}"
                                  for axis, values in axes.items())
             parts.append(f"Matrix axes: {rendered}")
+    quarantined_ids = store.failed_job_ids()
     completion = store.completion()
     if completion is not None:
-        state = ("COMPLETE" if completion["complete"]
-                 else f"PARTIAL — {completion['total'] - completion['records']}"
-                      " job(s) outstanding (resume with 'repro-lock run')")
+        outstanding = completion["total"] - completion["records"]
+        # Quarantined jobs are skipped by a plain resume, so the PARTIAL
+        # hint distinguishes "just resume" from "raise the retry budget" —
+        # a store where *every* missing job is quarantined (e.g. all jobs
+        # poisoned) would otherwise suggest a resume that does nothing.
+        quarantined_missing = min(len(quarantined_ids), outstanding)
+        resumable = outstanding - quarantined_missing
+        if completion["complete"]:
+            state = "COMPLETE"
+        elif resumable == 0 and quarantined_missing > 0:
+            state = (f"PARTIAL — all {quarantined_missing} missing job(s) "
+                     "quarantined (re-run with a higher --retries budget)")
+        elif quarantined_missing > 0:
+            state = (f"PARTIAL — {resumable} job(s) outstanding (resume "
+                     f"with 'repro-lock run') + {quarantined_missing} "
+                     "quarantined (needs a higher --retries budget)")
+        else:
+            state = (f"PARTIAL — {outstanding} job(s) outstanding "
+                     "(resume with 'repro-lock run')")
         parts.append(f"Records: {completion['records']}/{completion['total']}"
                      f" ({state})")
     else:
@@ -324,17 +341,19 @@ def store_report(store, context: Optional[tuple] = None) -> str:
                              for name, count in sorted(metric_counts.items()))
         parts += ["", f"Metric records: {rendered} (see {store.jobs_dir})"]
 
-    failures = store.failures()
-    if failures:
-        lines = [f"Quarantined jobs: {len(failures)} "
-                 f"(ledger: {store.failures_path})"]
-        for entry in failures:
-            lines.append(
-                f"  {entry.get('job_id', '?')}: {entry.get('failure', '?')} "
-                f"({entry.get('classification', '?')}, "
-                f"{entry.get('attempts', '?')} attempt(s)) — raise the "
-                "retry budget to re-execute")
-        parts += ["", "\n".join(lines)]
+    if quarantined_ids:
+        from .tables import failures_table_text
+
+        # Latest ledger entry per job, rendered as the same aligned table
+        # 'repro-lock run' prints — a store holding only quarantined jobs
+        # (no successful records at all) still gets a full failure report.
+        entries = [dict(entry, skipped=True)
+                   for _, entry in sorted(quarantined_ids.items())]
+        parts += ["", f"Quarantined jobs: {len(entries)} "
+                      f"(ledger: {store.failures_path})",
+                  failures_table_text(entries),
+                  "Raise the retry budget ('repro-lock run --retries N') to "
+                  "re-execute them on resume."]
 
     if manifest is not None and manifest.get("jobs"):
         parts += ["", timing_table_text(manifest["jobs"])]

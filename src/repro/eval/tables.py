@@ -148,6 +148,31 @@ def timing_table_text(job_summaries: Sequence[Mapping],
          "ms/unit"], rows, title=title)
 
 
+def failures_table_text(failures: Sequence[Mapping]) -> str:
+    """Render failure-ledger entries as the failed-jobs table.
+
+    Shared by ``repro-lock run`` (this run's quarantines) and
+    ``repro-lock report`` (the store's ledger): one aligned row per entry
+    with the job id, failure, transient/permanent classification, attempts
+    spent, and whether the job failed this run or was skipped as known
+    poison on resume.
+    """
+    rows = [(str(entry.get("job_id", "?")),
+             str(entry.get("failure", "?")),
+             str(entry.get("classification", "?")),
+             str(entry.get("attempts", "?")),
+             "skipped" if entry.get("skipped") else "this run")
+            for entry in failures]
+    header = ("job", "failure", "class", "attempts", "when")
+    widths = [max(len(header[col]), *(len(row[col]) for row in rows))
+              for col in range(len(header))]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip()]
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend("  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+                 .rstrip() for row in rows)
+    return "\n".join(lines)
+
+
 def observation_table_text(pools: Mapping[str, "object"],
                            title: str = "Operation-selection study (Fig. 4)") -> str:
     """Render the Fig. 4 observation-pool summary."""

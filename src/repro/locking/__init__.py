@@ -41,6 +41,7 @@ from .metrics import (
     restricted_metric,
     security_metric,
 )
+from .multiround import MultiRoundLocker
 from .odt import OperationDistributionTable, odt_from_design
 from .pairs import (
     ORIGINAL_ASSURE_TABLE,
@@ -83,6 +84,7 @@ __all__ = [
     "modified_euclidean",
     "restricted_metric",
     "security_metric",
+    "MultiRoundLocker",
     "OperationDistributionTable",
     "odt_from_design",
     "ORIGINAL_ASSURE_TABLE",

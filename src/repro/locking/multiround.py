@@ -1,0 +1,166 @@
+"""Sequential multi-round locking: a relock chain of registered lockers.
+
+The paper's lockers make one pass over a design; a *multi-round* locker
+chains several of them, handing the locked output of one stage to the next
+(the same relock idiom :class:`~repro.attacks.relock.TrainingSetBuilder`
+uses to build SnapShot training sets, applied on the defender's side).  The
+key budget is split across the stages by declared weights, and every stage
+appends its key bits to the shared key port — the final design carries one
+key whose bits come from heterogeneous locking strategies, which is exactly
+the deceptive-composition axis the co-evolution loop explores.
+
+The locker is an ordinary registry component (``multi-round``), so it is
+declarable from scenario JSON alone::
+
+    {"algorithm": "multi-round",
+     "options": {"stages": [
+         {"algorithm": "era", "weight": 2},
+         {"algorithm": "assure", "weight": 1,
+          "options": {"track_metrics": false}}]}}
+
+Stage lockers are resolved through the same registry, so third-party
+algorithms (and nested multi-round stages) compose for free.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from ..rtlir.design import Design
+from .pairs import PairTable
+from .result import LockResult
+
+#: Stage list used when a scenario declares no ``stages`` option: one exact
+#: ML-resilient pass followed by a cheap ASSURE top-up — runnable (and
+#: meaningful) with zero configuration, which the registry round-trip
+#: property test requires of every registered component.
+DEFAULT_STAGES = (
+    {"algorithm": "era", "weight": 1.0},
+    {"algorithm": "assure", "weight": 1.0},
+)
+
+
+class MultiRoundLockingError(ValueError):
+    """Raised for structurally invalid multi-round stage declarations."""
+
+
+def _normalise_stage(stage: Union[str, Mapping], index: int) -> Dict:
+    """Validate one stage entry and return its canonical dict form."""
+    if isinstance(stage, str):
+        stage = {"algorithm": stage}
+    if not isinstance(stage, Mapping):
+        raise MultiRoundLockingError(
+            f"multi-round stage #{index} must be an algorithm name or an "
+            f"object, got {type(stage).__name__}")
+    unknown = set(stage) - {"algorithm", "weight", "options"}
+    if unknown:
+        raise MultiRoundLockingError(
+            f"unknown multi-round stage field(s): "
+            f"{', '.join(sorted(unknown))}; allowed: algorithm, weight, "
+            "options")
+    if not stage.get("algorithm"):
+        raise MultiRoundLockingError(
+            f"multi-round stage #{index} needs an 'algorithm' field")
+    weight = float(stage.get("weight", 1.0))
+    if weight <= 0:
+        raise MultiRoundLockingError(
+            f"multi-round stage #{index} weight must be positive, "
+            f"got {weight}")
+    return {"algorithm": str(stage["algorithm"]), "weight": weight,
+            "options": dict(stage.get("options", {}))}
+
+
+class MultiRoundLocker:
+    """Chain registered lockers, splitting the key budget by stage weights.
+
+    Args:
+        stages: Stage declarations (algorithm name strings or
+            ``{"algorithm", "weight", "options"}`` objects); defaults to
+            :data:`DEFAULT_STAGES`.
+        rng: Random source; each stage derives an independent stream from
+            it, so the chain is deterministic for a given seed regardless
+            of how much randomness each stage consumes.
+        pair_table: Pair-table override forwarded to every stage.
+        track_metrics: Forwarded to every stage; the first stage's tracker
+            is kept as the chain's trajectory (later stages append to an
+            already-locked design, which the tracker model does not cover).
+    """
+
+    name = "multi-round"
+
+    def __init__(self, stages: Optional[Sequence] = None,
+                 rng: Optional[random.Random] = None,
+                 pair_table: Optional[PairTable] = None,
+                 track_metrics: bool = False) -> None:
+        declared = stages if stages else DEFAULT_STAGES
+        self.stages = [_normalise_stage(stage, index)
+                       for index, stage in enumerate(declared)]
+        self.rng = rng or random.Random()
+        self.pair_table = pair_table
+        self.track_metrics = track_metrics
+
+    def _stage_budgets(self, key_budget: int) -> List[int]:
+        """Split the budget by weight; every stage gets at least one bit."""
+        total = sum(stage["weight"] for stage in self.stages)
+        return [max(1, int(round(key_budget * stage["weight"] / total)))
+                for stage in self.stages]
+
+    def lock(self, design: Design, key_budget: int,
+             in_place: bool = False) -> LockResult:
+        """Lock ``design`` through every stage in declaration order.
+
+        Raises:
+            ValueError: for a negative key budget.
+        """
+        from ..api.registry import make_locker
+
+        if key_budget < 0:
+            raise ValueError("key budget must be non-negative")
+        target = design if in_place else design.copy()
+        existing_bits = len(target.key_bits)
+
+        bits_used = 0
+        tracker = None
+        per_stage_bits: List[float] = []
+        for stage, budget in zip(self.stages, self._stage_budgets(key_budget)):
+            stage_rng = random.Random(self.rng.getrandbits(64))
+            locker = make_locker(stage["algorithm"], stage_rng,
+                                 pair_table=self.pair_table,
+                                 track_metrics=self.track_metrics,
+                                 **stage["options"])
+            result = locker.lock(target, key_budget=budget, in_place=True)
+            bits_used += result.bits_used
+            per_stage_bits.append(float(result.bits_used))
+            if tracker is None:
+                tracker = result.tracker
+
+        return LockResult(
+            design=target,
+            algorithm=self.name,
+            key_budget=key_budget,
+            bits_used=bits_used,
+            new_key_bits=list(target.key_bits[existing_bits:]),
+            tracker=tracker,
+            statistics={"stages": float(len(self.stages)),
+                        **{f"stage{index}_bits": bits
+                           for index, bits in enumerate(per_stage_bits)}},
+        )
+
+
+# ---------------------------------------------------------------------------
+# Registry factory (see repro.api)
+# ---------------------------------------------------------------------------
+
+from ..api.registry import register_locker  # noqa: E402
+
+
+@register_locker("multi-round", aliases=("relock-chain",))
+def _make_multi_round(rng: random.Random,
+                      pair_table: Optional[PairTable] = None,
+                      track_metrics: bool = False,
+                      stages: Optional[Sequence] = None,
+                      **_: object) -> MultiRoundLocker:
+    """Sequential locking: chain registered lockers over one key budget."""
+    return MultiRoundLocker(stages=stages, rng=rng, pair_table=pair_table,
+                            track_metrics=track_metrics)

@@ -1,0 +1,86 @@
+"""Regression: 'cli report' on a store holding only quarantined jobs.
+
+A store whose every job is quarantined (no successful records at all) used
+to degrade confusingly: the PARTIAL line suggested a plain resume — which
+skips known-poison jobs and does nothing — and the failures rendered as
+unaligned prose.  The report must render the aligned failure table, give
+the correct remedy (raise the retry budget), and exit cleanly.
+"""
+
+import pytest
+
+from repro.api import AttackSpec, LockerSpec, ResultsStore, Runner, Scenario
+from repro.api.faults import FaultPlan
+from repro.cli import main
+from repro.eval import store_report
+
+
+POISON_ALL = FaultPlan.from_dict(
+    {"seed": 5, "faults": [{"kind": "transient", "rate": 1.0}]})
+
+
+def tiny_scenario(**overrides):
+    base = dict(
+        name="report-quarantine",
+        benchmarks=("SASC",),
+        lockers=(LockerSpec("era", key_budget_fraction=0.5),),
+        attacks=(AttackSpec("majority", rounds=2),),
+        samples=1,
+        scale=0.1,
+        seed=3,
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+@pytest.fixture
+def quarantined_store(tmp_path):
+    store = ResultsStore(tmp_path / "store")
+    report = Runner(tiny_scenario(), store=store, fault_plan=POISON_ALL).run()
+    assert len(report.failures) == 1 and not report.records
+    return store
+
+
+class TestQuarantineOnlyReport:
+    def test_renders_failure_table(self, quarantined_store):
+        text = store_report(quarantined_store)
+        # The CI fault-injection job greps for this phrase.
+        assert "Quarantined jobs: 1" in text
+        # Aligned table, same shape 'repro-lock run' prints.
+        assert "job" in text and "failure" in text and "attempts" in text
+        assert "attack__SASC__era__majority__s0" in text
+        assert "transient" in text
+
+    def test_partial_hint_names_the_remedy(self, quarantined_store):
+        text = store_report(quarantined_store)
+        assert "all 1 missing job(s) quarantined" in text
+        assert "--retries" in text
+        # A plain resume would skip the poison job — don't suggest it.
+        assert "(resume with 'repro-lock run')" not in text
+
+    def test_cli_report_exits_cleanly(self, quarantined_store, capsys):
+        assert main(["report", str(quarantined_store.root)]) == 0
+        out = capsys.readouterr().out
+        assert "Quarantined jobs: 1" in out
+
+    def test_mixed_store_counts_both(self, tmp_path):
+        # One poisoned attack + one clean attack: the PARTIAL line must
+        # separate resumable jobs from quarantined ones.
+        scenario = tiny_scenario(
+            attacks=(AttackSpec("majority", rounds=2),
+                     AttackSpec("random")))
+        poison_random = FaultPlan.from_dict(
+            {"seed": 5, "faults": [
+                {"kind": "transient", "rate": 1.0, "match": "__random__"}]})
+        store = ResultsStore(tmp_path / "store")
+        Runner(scenario, store=store, fault_plan=poison_random).run()
+        text = store_report(store)
+        assert "1 quarantined" in text or "quarantined" in text
+        assert "Records: 1/2" in text
+
+    def test_complete_store_is_unchanged(self, tmp_path):
+        store = ResultsStore(tmp_path / "store")
+        Runner(tiny_scenario(), store=store).run()
+        text = store_report(store)
+        assert "COMPLETE" in text
+        assert "Quarantined" not in text

@@ -1,0 +1,39 @@
+"""Declarative scenario-case suite (hwsim idiom).
+
+Every ``cases/*.json`` file is one named pytest parameter run through the
+shared :func:`run_scenario_case` helper (see ``conftest.py`` for the case
+schema).  New axis combinations get regression coverage by dropping a JSON
+file into ``cases/`` — no new test code.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from .conftest import CASES_DIR
+
+CASE_FILES = sorted(CASES_DIR.glob("*.json"))
+
+
+def test_case_suite_is_populated():
+    """The suite stays meaningful: at least 25 declarative cases."""
+    assert len(CASE_FILES) >= 25
+
+
+def test_case_names_are_unique_and_descriptive():
+    descriptions = {}
+    for path in CASE_FILES:
+        case = json.loads(path.read_text())
+        description = case.get("description", "")
+        assert description, f"{path.name} lacks a description"
+        assert description not in descriptions.values(), \
+            f"{path.name} duplicates the description of another case"
+        descriptions[path.name] = description
+
+
+@pytest.mark.parametrize("case_path", CASE_FILES,
+                         ids=[path.stem for path in CASE_FILES])
+def test_scenario_case(case_path, run_scenario_case):
+    run_scenario_case(case_path)
